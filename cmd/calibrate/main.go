@@ -1,0 +1,93 @@
+// Command calibrate runs the system test suite against the simulated
+// platforms and prints the resulting model parameters: the piecewise
+// (α, β) communication fits per direction, the discovered threshold,
+// and the three delay tables.
+//
+// Usage:
+//
+//	calibrate                 # Sun/Paragon 1-HOP + Sun/CM2
+//	calibrate -mode 2hops
+//	calibrate -contenders 6 -burst 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"contention/internal/calibrate"
+	"contention/internal/core"
+	"contention/internal/platform"
+)
+
+func main() {
+	mode := flag.String("mode", "1hop", "Sun/Paragon communication mode: 1hop or 2hops")
+	burst := flag.Int("burst", 200, "messages per ping-pong burst")
+	contenders := flag.Int("contenders", 4, "delay-table depth (max contenders)")
+	asJSON := flag.Bool("json", false, "emit the calibration as JSON (loadable with contention.LoadCalibration)")
+	flag.Parse()
+
+	var hop platform.HopMode
+	switch *mode {
+	case "1hop":
+		hop = platform.OneHop
+	case "2hops":
+		hop = platform.TwoHops
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q (want 1hop or 2hops)\n", *mode)
+		os.Exit(2)
+	}
+
+	params := platform.DefaultParagonParams(hop)
+	opts := calibrate.DefaultOptions(params)
+	opts.BurstCount = *burst
+	opts.MaxContenders = *contenders
+
+	cal, err := calibrate.Run(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibration failed:", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		if err := cal.Save(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "encoding calibration:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("platform: %s\n\n", cal.Platform)
+	printModel("sun→paragon", cal.ToBack)
+	printModel("paragon→sun", cal.ToHost)
+
+	fmt.Println("delay tables (index i = number of contenders):")
+	printTable("  delay^i_comp (computing apps → communication)", cal.Tables.CompOnComm)
+	printTable("  delay^i_comm (communicating apps → communication)", cal.Tables.CommOnComm)
+	for _, j := range cal.Tables.JGrid() {
+		printTable(fmt.Sprintf("  delay^{i,j=%d}_comm (communicating apps → computation)", j),
+			cal.Tables.CommOnComp[j])
+	}
+
+	cm2, err := calibrate.CalibrateCM2(calibrate.DefaultCM2Options(platform.DefaultCM2Params()))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "CM2 calibration failed:", err)
+		os.Exit(1)
+	}
+	fmt.Println("\nsun/cm2 transfer model:")
+	fmt.Printf("  α = %.6gs  β = %.6g words/s\n", cm2.Small.Alpha, cm2.Small.Beta)
+}
+
+func printModel(name string, m core.CommModel) {
+	fmt.Printf("%s (threshold %d words):\n", name, m.Threshold)
+	fmt.Printf("  size ≤ threshold: α = %.6gs  β = %.6g words/s\n", m.Small.Alpha, m.Small.Beta)
+	fmt.Printf("  size > threshold: α = %.6gs  β = %.6g words/s\n\n", m.Large.Alpha, m.Large.Beta)
+}
+
+func printTable(label string, xs []float64) {
+	fmt.Printf("%s:", label)
+	for i, v := range xs {
+		fmt.Printf(" i=%d:%.3f", i+1, v)
+	}
+	fmt.Println()
+}

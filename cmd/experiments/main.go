@@ -1,0 +1,87 @@
+// Command experiments reproduces every table and figure of the paper's
+// evaluation on the simulated platforms and prints model-vs-actual
+// series with error summaries. Its output is the data recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -list      # list experiment ids
+//	experiments -only figure5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"contention/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment by id (e.g. figure5)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	extensions := flag.Bool("extensions", false, "also run the extension experiments (synthetic suite, I/O, phased, multi-machine)")
+	asJSON := flag.Bool("json", false, "emit results as a JSON array instead of text tables")
+	flag.Parse()
+
+	ids := []string{"table1-2", "table3", "table4", "figure1", "figure2",
+		"figure3", "figure4", "figure5", "figure6", "figure7", "figure8",
+		"synthetic", "iochar", "phased", "multimachine", "offload"}
+	if *list {
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	fmt.Fprintln(os.Stderr, "calibrating platforms (runs the system test suite once)...")
+	env, err := experiments.NewEnv()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibration failed:", err)
+		os.Exit(1)
+	}
+	results, err := experiments.All(env)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiment failed:", err)
+		os.Exit(1)
+	}
+	wantExt := *extensions
+	if *only == "synthetic" || *only == "iochar" || *only == "phased" || *only == "multimachine" || *only == "offload" {
+		wantExt = true
+	}
+	if wantExt {
+		ext, err := experiments.Extensions(env)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "extension experiment failed:", err)
+			os.Exit(1)
+		}
+		results = append(results, ext...)
+	}
+	found := false
+	var selected []experiments.Result
+	for _, r := range results {
+		if *only != "" && r.ID != *only {
+			continue
+		}
+		found = true
+		selected = append(selected, r)
+	}
+	if *only != "" && !found {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *only)
+		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(selected); err != nil {
+			fmt.Fprintln(os.Stderr, "encoding results:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, r := range selected {
+		fmt.Println(r.Render())
+	}
+}

@@ -1,0 +1,63 @@
+// Allocation: the paper's motivating example (§1, Tables 1–4) end to
+// end. A two-task application must be mapped onto a two-machine
+// heterogeneous platform; contention changes which mapping is best, and
+// the slowdown model is what lets the scheduler see that in advance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"contention"
+)
+
+func report(header string, p contention.Problem) contention.Ranked {
+	ranked, err := p.Rank()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(header)
+	for i, r := range ranked {
+		marker := "  "
+		if i == 0 {
+			marker = "→ "
+		}
+		fmt.Printf("  %s%-14s makespan %g\n", marker, r.Assignment, r.Makespan)
+	}
+	fmt.Println()
+	return ranked[0]
+}
+
+func main() {
+	// Tables 1–2: the dedicated platform.
+	p := contention.PaperExample()
+	best := report("Dedicated (Tables 1-2): both tasks belong on M1.", p)
+	if best.Makespan != 16 {
+		log.Fatalf("expected the paper's 16-unit dedicated makespan, got %g", best.Makespan)
+	}
+
+	// Table 3: two CPU-bound applications arrive on M1. The fair-share
+	// CPU gives slowdown p+1 = 3 for everything M1 computes.
+	slowdown := contention.SimpleSlowdown(2)
+	p3 := p.ScaleExec("M1", slowdown)
+	best = report(fmt.Sprintf("M1 compute slowed ×%g (Table 3): offload A to M2.", slowdown), p3)
+	if best.Makespan != 38 {
+		log.Fatalf("expected the paper's 38-unit makespan, got %g", best.Makespan)
+	}
+
+	// Table 4: the contenders also transfer data to M2, so the link
+	// slows by the same factor — and the offload stops paying off.
+	p4 := p3.ScaleComm(slowdown)
+	best = report("Compute AND comm slowed ×3 (Table 4): keep both on M1.", p4)
+	if best.Makespan != 48 {
+		log.Fatalf("expected the paper's 48-unit makespan, got %g", best.Makespan)
+	}
+
+	// The offload rule (Equation 1) on the same numbers: offload task A
+	// only when tHost > tBack + transfer costs.
+	tHost, tBack := 36.0, 18.0
+	fmt.Printf("Equation (1) for task A, comm dedicated (7+8):   offload? %v\n",
+		contention.ShouldOffload(tHost, tBack, 7, 8))
+	fmt.Printf("Equation (1) for task A, comm slowed ×3 (21+24): offload? %v\n",
+		contention.ShouldOffload(tHost, tBack, 21, 24))
+}

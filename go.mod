@@ -1,0 +1,3 @@
+module contention
+
+go 1.22

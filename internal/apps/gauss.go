@@ -1,0 +1,201 @@
+package apps
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"contention/internal/des"
+	"contention/internal/platform"
+)
+
+// GaussSolve performs Gaussian elimination with partial pivoting on the
+// augmented system [a | b], returning the solution vector. a is an
+// n×n matrix; both a and b are left in eliminated form.
+func GaussSolve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 {
+		return nil, errors.New("apps: empty system")
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("apps: rhs length %d != %d", len(b), n)
+	}
+	for i, row := range a {
+		if len(row) != n {
+			return nil, fmt.Errorf("apps: row %d has length %d, want %d", i, len(row), n)
+		}
+	}
+	for k := 0; k < n; k++ {
+		// Partial pivot: the serial/scalar part of the step.
+		pivot := k
+		best := math.Abs(a[k][k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(a[i][k]); v > best {
+				pivot, best = i, v
+			}
+		}
+		if best == 0 {
+			return nil, fmt.Errorf("apps: singular matrix at column %d", k)
+		}
+		if pivot != k {
+			a[k], a[pivot] = a[pivot], a[k]
+			b[k], b[pivot] = b[pivot], b[k]
+		}
+		// Elimination: the data-parallel part of the step.
+		for i := k + 1; i < n; i++ {
+			f := a[i][k] / a[k][k]
+			if f == 0 {
+				continue
+			}
+			a[i][k] = 0
+			for j := k + 1; j < n; j++ {
+				a[i][j] -= f * a[k][j]
+			}
+			b[i] -= f * b[k]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= a[i][j] * x[j]
+		}
+		x[i] = s / a[i][i]
+	}
+	return x, nil
+}
+
+// MakeDiagonallyDominant builds a well-conditioned n×n test system with
+// a known solution x[i] = i+1, returning (a, b).
+func MakeDiagonallyDominant(n int) ([][]float64, []float64) {
+	a := make([][]float64, n)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i + 1)
+	}
+	for i := range a {
+		a[i] = make([]float64, n)
+		for j := range a[i] {
+			if i == j {
+				a[i][j] = float64(2*n + 1)
+			} else {
+				a[i][j] = 1 / float64(1+abs(i-j))
+			}
+		}
+	}
+	b := make([]float64, n)
+	for i := range b {
+		s := 0.0
+		for j := range x {
+			s += a[i][j] * x[j]
+		}
+		b[i] = s
+	}
+	return a, b
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// --- CM2 program profiles -------------------------------------------------
+
+// CM2PEs is the number of processing elements of the synthetic CM2.
+const CM2PEs = 8192
+
+// Profile constants for the Gaussian-elimination CM2 program (see the
+// package comment and DESIGN.md §5): serial scalar ops per elimination
+// step, sequencer overhead per parallel instruction, and per-VP-loop
+// cost. Chosen so the paper's Figure 3 crossover lands near M = 200.
+const (
+	gaussSerialBaseOps   = 1500.0
+	gaussSerialPerRowOps = 6.0
+	cm2InstrOverhead     = 5e-4
+	cm2PerVPLoop         = 1.5e-3
+	gaussInstrsPerStep   = 2
+)
+
+// Segment is one serial→parallel phase of a front-end/back-end program:
+// the front-end executes Serial seconds of scalar code (dedicated time),
+// then issues a parallel instruction that occupies the back-end for
+// Parallel seconds.
+type Segment struct {
+	Serial   float64
+	Parallel float64
+}
+
+// CM2Program is an instruction-level profile of a CM2 application.
+type CM2Program struct {
+	Name     string
+	Segments []Segment
+	// SyncEvery, when positive, makes the front-end wait for all issued
+	// instructions after every n-th segment (a reduction returning a
+	// result to the host, as in the paper's Figure 2).
+	SyncEvery int
+}
+
+// TotalSerial is the paper's dserial_cm2: dedicated front-end time.
+func (p CM2Program) TotalSerial() float64 {
+	s := 0.0
+	for _, seg := range p.Segments {
+		s += seg.Serial
+	}
+	return s
+}
+
+// TotalParallel is the paper's dcomp_cm2: dedicated back-end time.
+func (p CM2Program) TotalParallel() float64 {
+	s := 0.0
+	for _, seg := range p.Segments {
+		s += seg.Parallel
+	}
+	return s
+}
+
+// GaussCM2Program profiles Gaussian elimination on an M×(M+1) augmented
+// matrix for the CM2: per elimination step, a serial pivot phase on the
+// Sun and a data-parallel elimination instruction on the CM2 whose
+// duration depends on the virtual-processor ratio.
+func GaussCM2Program(m int) CM2Program {
+	if m < 1 {
+		panic(fmt.Sprintf("apps: invalid Gauss size %d", m))
+	}
+	segs := make([]Segment, 0, m)
+	for k := 0; k < m; k++ {
+		serialOps := gaussSerialBaseOps + gaussSerialPerRowOps*float64(m)
+		elems := float64((m - k) * (m + 1))
+		vpLoops := math.Ceil(elems / CM2PEs)
+		par := gaussInstrsPerStep*cm2InstrOverhead + cm2PerVPLoop*vpLoops
+		segs = append(segs, Segment{
+			Serial:   serialOps / SunOpsRate,
+			Parallel: par,
+		})
+	}
+	return CM2Program{Name: fmt.Sprintf("gauss-%d", m), Segments: segs}
+}
+
+// RunCM2 executes a CM2 program on the simulated platform, returning
+// elapsed virtual time and the back-end session statistics
+// (busy = dcomp_cm2 under dedicated conditions; idle = didle_cm2).
+func RunCM2(p *des.Proc, plat *platform.SunCM2, prog CM2Program) (elapsed, busy, idle float64) {
+	start := p.Now()
+	sess := plat.Backend.Attach(p, prog.Name, plat.Params.FIFODepth)
+	for i, seg := range prog.Segments {
+		if seg.Serial > 0 {
+			plat.Host.Compute(p, seg.Serial)
+		}
+		if seg.Parallel > 0 {
+			sess.Issue(p, seg.Parallel)
+		}
+		if prog.SyncEvery > 0 && (i+1)%prog.SyncEvery == 0 {
+			sess.Sync(p)
+		}
+	}
+	sess.Detach(p)
+	end := p.Now()
+	return end - start, sess.BusyTime(), sess.IdleTime(end)
+}

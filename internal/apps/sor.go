@@ -1,0 +1,108 @@
+// Package apps provides the two scientific benchmarks the paper
+// validates with — an SOR solver for Laplace's equation and Gaussian
+// elimination — both as real numerical kernels (used by the live
+// emulation and the examples) and as platform profiles: the
+// serial/parallel/communication structure that drives the simulated
+// Sun/CM2 and Sun/Paragon platforms.
+//
+// Profile constants are synthetic calibrations documented in DESIGN.md:
+// the Sun executes ≈2 MFLOPS; the CM2 has 8192 PEs with a per-parallel-
+// instruction sequencer overhead and a per-virtual-processor-loop cost
+// chosen so that the Gaussian-elimination serial/parallel balance
+// crosses over near M = 200, matching the paper's Figure 3.
+package apps
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"contention/internal/core"
+)
+
+// SunOpsRate is the synthetic front-end scalar rate in operations/second.
+const SunOpsRate = 2e6
+
+// SOROpsPerPoint is the operation count of one SOR update (4 neighbor
+// adds, one scale, one blend — rounded to the classic 5-op estimate
+// plus loop overhead).
+const SOROpsPerPoint = 5
+
+// MakeLaplaceGrid builds an M×M grid with Dirichlet boundary conditions:
+// the top edge held at 100, the others at 0 — a standard Laplace test
+// problem.
+func MakeLaplaceGrid(m int) ([][]float64, error) {
+	if m < 3 {
+		return nil, fmt.Errorf("apps: grid size %d must be ≥ 3", m)
+	}
+	g := make([][]float64, m)
+	cells := make([]float64, m*m)
+	for i := range g {
+		g[i], cells = cells[:m], cells[m:]
+	}
+	for j := 0; j < m; j++ {
+		g[0][j] = 100
+	}
+	return g, nil
+}
+
+// SORSolve runs red-black successive over-relaxation in place for the
+// given number of iterations with relaxation factor omega, returning
+// the final residual (max absolute update of the last sweep). Boundary
+// rows and columns are held fixed.
+func SORSolve(grid [][]float64, omega float64, iters int) (float64, error) {
+	m := len(grid)
+	if m < 3 {
+		return 0, fmt.Errorf("apps: grid size %d must be ≥ 3", m)
+	}
+	for _, row := range grid {
+		if len(row) != m {
+			return 0, errors.New("apps: grid must be square")
+		}
+	}
+	if omega <= 0 || omega >= 2 {
+		return 0, fmt.Errorf("apps: omega %v out of (0,2)", omega)
+	}
+	if iters < 1 {
+		return 0, fmt.Errorf("apps: iteration count %d must be ≥ 1", iters)
+	}
+	residual := 0.0
+	for it := 0; it < iters; it++ {
+		residual = 0
+		for color := 0; color < 2; color++ {
+			for i := 1; i < m-1; i++ {
+				start := 1 + (i+color)%2
+				for j := start; j < m-1; j += 2 {
+					old := grid[i][j]
+					gs := 0.25 * (grid[i-1][j] + grid[i+1][j] + grid[i][j-1] + grid[i][j+1])
+					next := old + omega*(gs-old)
+					grid[i][j] = next
+					if d := math.Abs(next - old); d > residual {
+						residual = d
+					}
+				}
+			}
+		}
+	}
+	return residual, nil
+}
+
+// SORWork returns the dedicated Sun execution time (seconds) of iters
+// SOR sweeps on an M×M grid — the profile behind dcomp_sun in the
+// paper's Figures 7 and 8.
+func SORWork(m, iters int) float64 {
+	if m < 0 || iters < 0 {
+		panic(fmt.Sprintf("apps: invalid SOR profile m=%d iters=%d", m, iters))
+	}
+	interior := float64((m - 2) * (m - 2))
+	if interior < 0 {
+		interior = 0
+	}
+	return float64(iters) * SOROpsPerPoint * interior / SunOpsRate
+}
+
+// SORDataSets describes transferring an M×M matrix as M row messages of
+// M words each — the data layout of the paper's Figure 1 transfer.
+func SORDataSets(m int) []core.DataSet {
+	return []core.DataSet{{N: m, Words: m}}
+}

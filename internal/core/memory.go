@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Memory extension — the paper's §4 lists memory constraints as the
+// first model extension ("we are currently extending our model to
+// include memory constraints"); the base model assumes every working
+// set fits in memory. This file adds the missing term: when the
+// combined working sets of the resident applications exceed physical
+// memory, paging slows every resident process by a factor the model
+// multiplies into the computation slowdown.
+
+// MemoryModel describes the front-end memory for the extension. It
+// mirrors the simulator's paging law (cpu.MemoryConfig): the slowdown
+// is linear in the oversubscription fraction.
+type MemoryModel struct {
+	// Pages is the physical memory size in pages.
+	Pages int
+	// Thrash scales the slowdown per fraction of oversubscription.
+	Thrash float64
+}
+
+// Validate checks the model parameters.
+func (m MemoryModel) Validate() error {
+	if m.Pages <= 0 {
+		return fmt.Errorf("core: memory pages %d must be positive", m.Pages)
+	}
+	if m.Thrash < 0 || math.IsNaN(m.Thrash) {
+		return fmt.Errorf("core: invalid thrash factor %v", m.Thrash)
+	}
+	return nil
+}
+
+// PagingFactor returns the slowdown for a total residency.
+func (m MemoryModel) PagingFactor(residentPages int) float64 {
+	if residentPages <= m.Pages {
+		return 1
+	}
+	over := float64(residentPages-m.Pages) / float64(m.Pages)
+	return 1 + m.Thrash*over
+}
+
+// MemorySlowdown returns the paging factor for an application with
+// appPages of working set sharing the host with the given contender
+// working sets.
+func MemorySlowdown(m MemoryModel, appPages int, contenderPages []int) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if appPages < 0 {
+		return 0, fmt.Errorf("core: negative working set %d", appPages)
+	}
+	total := appPages
+	for _, p := range contenderPages {
+		if p < 0 {
+			return 0, fmt.Errorf("core: negative contender working set %d", p)
+		}
+		total += p
+	}
+	return m.PagingFactor(total), nil
+}
+
+// CompSlowdownWithMemory combines the contention mixture with the
+// paging factor: computation on an oversubscribed host pays both.
+func CompSlowdownWithMemory(cs []Contender, t DelayTables, m MemoryModel, appPages int, contenderPages []int) (float64, error) {
+	base, err := CompSlowdown(cs, t)
+	if err != nil {
+		return 0, err
+	}
+	paging, err := MemorySlowdown(m, appPages, contenderPages)
+	if err != nil {
+		return 0, err
+	}
+	return base * paging, nil
+}

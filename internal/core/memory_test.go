@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"contention/internal/cpu"
+	"contention/internal/des"
+)
+
+func TestMemoryModelPagingFactor(t *testing.T) {
+	m := MemoryModel{Pages: 1000, Thrash: 3}
+	if got := m.PagingFactor(800); got != 1 {
+		t.Fatalf("under memory: %v, want 1", got)
+	}
+	if got := m.PagingFactor(1000); got != 1 {
+		t.Fatalf("at memory: %v, want 1", got)
+	}
+	if got := m.PagingFactor(1500); !approx(got, 2.5, 1e-12) {
+		t.Fatalf("50%% over: %v, want 2.5", got)
+	}
+}
+
+func TestMemoryModelValidate(t *testing.T) {
+	for _, m := range []MemoryModel{{Pages: 0, Thrash: 1}, {Pages: 10, Thrash: -1}, {Pages: 10, Thrash: math.NaN()}} {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %+v accepted", m)
+		}
+	}
+}
+
+func TestMemorySlowdownSumsWorkingSets(t *testing.T) {
+	m := MemoryModel{Pages: 1000, Thrash: 2}
+	got, err := MemorySlowdown(m, 600, []int{300, 300}) // total 1200: 20% over
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(got, 1.4, 1e-12) {
+		t.Fatalf("MemorySlowdown = %v, want 1.4", got)
+	}
+	if _, err := MemorySlowdown(m, -1, nil); err == nil {
+		t.Fatal("negative app pages accepted")
+	}
+	if _, err := MemorySlowdown(m, 1, []int{-1}); err == nil {
+		t.Fatal("negative contender pages accepted")
+	}
+	if _, err := MemorySlowdown(MemoryModel{}, 1, nil); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+}
+
+func TestCompSlowdownWithMemoryMultiplies(t *testing.T) {
+	cs := []Contender{{CommFraction: 0}, {CommFraction: 0}} // p+1 = 3
+	m := MemoryModel{Pages: 1000, Thrash: 2}
+	got, err := CompSlowdownWithMemory(cs, DelayTables{}, m, 900, []int{300, 300}) // 50% over → 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(got, 6, 1e-12) {
+		t.Fatalf("combined slowdown = %v, want 6 (3 × 2)", got)
+	}
+}
+
+// The model extension must track the simulator's paging law end to end:
+// an application with CPU-bound contenders on an oversubscribed host.
+func TestMemoryExtensionMatchesSimulation(t *testing.T) {
+	const (
+		work     = 2.0
+		memPages = 1000
+		thrash   = 2.5
+	)
+	cases := []struct {
+		hogs     int
+		appPages int
+		hogPages int
+	}{
+		{0, 800, 0},   // fits: no paging, no contention
+		{0, 1500, 0},  // paging only
+		{2, 500, 400}, // contention + paging (500+800=1300)
+		{3, 300, 200}, // contention, fits (300+600=900)
+	}
+	for _, c := range cases {
+		k := des.New()
+		h := cpu.NewHost(k, "sun", 1)
+		if err := h.ConfigureMemory(cpu.MemoryConfig{Pages: memPages, Thrash: thrash}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Reserve(c.appPages); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < c.hogs; i++ {
+			if _, err := h.Reserve(c.hogPages); err != nil {
+				t.Fatal(err)
+			}
+			k.Spawn("hog", func(p *des.Proc) { h.Compute(p, 1e18) })
+		}
+		var elapsed float64
+		k.Spawn("app", func(p *des.Proc) {
+			start := p.Now()
+			h.Compute(p, work)
+			elapsed = p.Now() - start
+			k.Stop()
+		})
+		k.Run()
+
+		cs := make([]Contender, c.hogs)
+		pages := make([]int, c.hogs)
+		for i := range pages {
+			pages[i] = c.hogPages
+		}
+		m := MemoryModel{Pages: memPages, Thrash: thrash}
+		slow, err := CompSlowdownWithMemory(cs, DelayTables{}, m, c.appPages, pages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		predicted := work * slow
+		if math.Abs(predicted-elapsed)/elapsed > 1e-6 {
+			t.Fatalf("case %+v: predicted %v, simulated %v", c, predicted, elapsed)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+)
+
+func multiTables() DelayTables {
+	return DelayTables{
+		CompOnComm: []float64{0.4, 0.8},
+		CommOnComm: []float64{0.3, 0.6},
+		CommOnComp: map[int][]float64{
+			1:    {0.2, 0.4},
+			500:  {0.6, 1.2},
+			1000: {0.7, 1.4},
+		},
+	}
+}
+
+func TestCommSlowdownMultiReducesToTwoMachineOnSingleLink(t *testing.T) {
+	cs := []Contender{
+		{CommFraction: 0.25, MsgWords: 200},
+		{CommFraction: 0.76, MsgWords: 200},
+	}
+	tagged := []MultiContender{
+		{Contender: cs[0], Link: 0},
+		{Contender: cs[1], Link: 0},
+	}
+	want, err := CommSlowdown(cs, multiTables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CommSlowdownMulti(0, tagged, multiTables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(got, want, 1e-12) {
+		t.Fatalf("single-link multi %v != two-machine %v", got, want)
+	}
+}
+
+func TestCommSlowdownMultiOtherLinkUsesScaledCPUTerm(t *testing.T) {
+	// One contender, always communicating on the other link with
+	// 500-word messages: contribution = delay^{1,500} × delay^1_comp.
+	tagged := []MultiContender{
+		{Contender: Contender{CommFraction: 1, MsgWords: 500}, Link: 1},
+	}
+	got, err := CommSlowdownMulti(0, tagged, multiTables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 + 0.6*0.4
+	if !approx(got, want, 1e-12) {
+		t.Fatalf("other-link slowdown %v, want %v", got, want)
+	}
+}
+
+func TestCommSlowdownMultiSameVsOtherOrdering(t *testing.T) {
+	// With these tables the same-link wire term (0.3) exceeds the scaled
+	// other-link CPU term (0.6×0.4 = 0.24): moving a contender off the
+	// target link must reduce the slowdown.
+	c := Contender{CommFraction: 1, MsgWords: 500}
+	same, err := CommSlowdownMulti(0, []MultiContender{{Contender: c, Link: 0}}, multiTables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := CommSlowdownMulti(0, []MultiContender{{Contender: c, Link: 1}}, multiTables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other >= same {
+		t.Fatalf("other-link %v not below same-link %v", other, same)
+	}
+}
+
+func TestCommSlowdownMultiNoContenders(t *testing.T) {
+	got, err := CommSlowdownMulti(0, nil, multiTables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("empty set: %v, want 1", got)
+	}
+}
+
+func TestCommSlowdownMultiValidation(t *testing.T) {
+	bad := []MultiContender{{Contender: Contender{CommFraction: 2}, Link: 0}}
+	if _, err := CommSlowdownMulti(0, bad, multiTables()); err == nil {
+		t.Fatal("invalid contender accepted")
+	}
+	if _, err := CommSlowdownMulti(0, nil, DelayTables{CompOnComm: []float64{-1}}); err == nil {
+		t.Fatal("invalid tables accepted")
+	}
+}
+
+func TestCompSlowdownMultiIgnoresLinkTags(t *testing.T) {
+	cs := []Contender{
+		{CommFraction: 0.4, MsgWords: 500},
+		{CommFraction: 0.7, MsgWords: 200},
+	}
+	want, err := CompSlowdown(cs, multiTables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagged := []MultiContender{
+		{Contender: cs[0], Link: 0},
+		{Contender: cs[1], Link: 3},
+	}
+	got, err := CompSlowdownMulti(tagged, multiTables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(got, want, 1e-12) {
+		t.Fatalf("CompSlowdownMulti %v != CompSlowdown %v", got, want)
+	}
+}
+
+func TestPredictCommMulti(t *testing.T) {
+	tagged := []MultiContender{
+		{Contender: Contender{CommFraction: 1, MsgWords: 500}, Link: 1},
+	}
+	got, err := PredictCommMulti(10, 0, tagged, multiTables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(got, 10*(1+0.24), 1e-12) {
+		t.Fatalf("PredictCommMulti = %v", got)
+	}
+	if _, err := PredictCommMulti(-1, 0, nil, multiTables()); err == nil {
+		t.Fatal("negative dcomm accepted")
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Phased prediction — the paper's §4 plans "to characterize the setting
+// in which contending applications execute for only part of the
+// execution of a given application. Since system load may vary during
+// the execution of an application, the slowdown factors should be
+// recalculated when the job mix changes." This file adds that setting:
+// the workload is a piecewise-constant timeline of contender sets, the
+// slowdown factor is re-evaluated per phase, and the application's
+// dedicated work is consumed phase by phase.
+
+// Phase is one interval of constant workload. Duration is wall-clock
+// seconds; a non-positive Duration marks the final, open-ended phase.
+type Phase struct {
+	Duration   float64
+	Contenders []Contender
+}
+
+// Validate checks a phase.
+func (p Phase) Validate() error {
+	if math.IsNaN(p.Duration) {
+		return errors.New("core: NaN phase duration")
+	}
+	for _, c := range p.Contenders {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// slowdownFn computes the slowdown factor of one phase.
+type slowdownFn func(cs []Contender) (float64, error)
+
+// predictPhased consumes dedicated work across the timeline. Phases
+// after the last one repeat the last phase's workload (an empty
+// timeline means dedicated mode throughout).
+func predictPhased(dedicated float64, phases []Phase, slow slowdownFn) (float64, error) {
+	if dedicated < 0 || math.IsNaN(dedicated) {
+		return 0, fmt.Errorf("core: invalid dedicated cost %v", dedicated)
+	}
+	if dedicated == 0 {
+		return 0, nil
+	}
+	elapsed := 0.0
+	remaining := dedicated
+	for i, ph := range phases {
+		if err := ph.Validate(); err != nil {
+			return 0, fmt.Errorf("core: phase %d: %w", i, err)
+		}
+		s, err := slow(ph.Contenders)
+		if err != nil {
+			return 0, fmt.Errorf("core: phase %d: %w", i, err)
+		}
+		last := i == len(phases)-1
+		if ph.Duration <= 0 || last {
+			// Open-ended (or final) phase: finish here.
+			return elapsed + remaining*s, nil
+		}
+		progress := ph.Duration / s
+		if progress >= remaining {
+			return elapsed + remaining*s, nil
+		}
+		remaining -= progress
+		elapsed += ph.Duration
+	}
+	// No phases: dedicated mode.
+	return elapsed + remaining, nil
+}
+
+// PredictCompPhased predicts the elapsed time of a computation of
+// dcomp dedicated seconds under a phase timeline, re-evaluating the
+// computation slowdown at every job-mix change.
+func PredictCompPhased(dcomp float64, phases []Phase, t DelayTables) (float64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	return predictPhased(dcomp, phases, func(cs []Contender) (float64, error) {
+		return CompSlowdown(cs, t)
+	})
+}
+
+// PredictCommPhased predicts the elapsed time of a communication of
+// dcomm dedicated seconds under a phase timeline, re-evaluating the
+// communication slowdown at every job-mix change.
+func PredictCommPhased(dcomm float64, phases []Phase, t DelayTables) (float64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	return predictPhased(dcomm, phases, func(cs []Contender) (float64, error) {
+		return CommSlowdown(cs, t)
+	})
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestPredictCompPhasedDedicatedOnly(t *testing.T) {
+	got, err := PredictCompPhased(5, nil, DelayTables{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Fatalf("no phases: %v, want 5 (dedicated)", got)
+	}
+}
+
+func TestPredictCompPhasedSinglePhase(t *testing.T) {
+	// One open-ended phase with 2 CPU-bound contenders: ×3.
+	phases := []Phase{{Contenders: []Contender{{}, {}}}}
+	got, err := PredictCompPhased(5, phases, DelayTables{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(got, 15, 1e-12) {
+		t.Fatalf("single phase: %v, want 15", got)
+	}
+}
+
+func TestPredictCompPhasedConsumesWorkAcrossPhases(t *testing.T) {
+	// dcomp = 10. Phase 1: 6 wall seconds with 1 CPU-bound contender
+	// (slowdown 2) → 3 units done. Phase 2 (open-ended): dedicated →
+	// 7 more seconds. Total 13.
+	phases := []Phase{
+		{Duration: 6, Contenders: []Contender{{}}},
+		{Contenders: nil},
+	}
+	got, err := PredictCompPhased(10, phases, DelayTables{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(got, 13, 1e-12) {
+		t.Fatalf("two phases: %v, want 13", got)
+	}
+}
+
+func TestPredictCompPhasedFinishesMidPhase(t *testing.T) {
+	// dcomp = 2; phase 1 is long enough (slowdown 2 → finishes at 4).
+	phases := []Phase{
+		{Duration: 100, Contenders: []Contender{{}}},
+		{Contenders: []Contender{{}, {}, {}}},
+	}
+	got, err := PredictCompPhased(2, phases, DelayTables{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(got, 4, 1e-12) {
+		t.Fatalf("mid-phase finish: %v, want 4", got)
+	}
+}
+
+func TestPredictCompPhasedLastPhaseExtends(t *testing.T) {
+	// The final phase applies to all remaining work even when its
+	// Duration understates it.
+	phases := []Phase{
+		{Duration: 2, Contenders: nil},             // 2 units done
+		{Duration: 1, Contenders: []Contender{{}}}, // final: ×2 for the rest
+	}
+	got, err := PredictCompPhased(5, phases, DelayTables{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(got, 2+3*2, 1e-12) {
+		t.Fatalf("extending final phase: %v, want 8", got)
+	}
+}
+
+func TestPredictPhasedValidation(t *testing.T) {
+	if _, err := PredictCompPhased(-1, nil, DelayTables{}); err == nil {
+		t.Fatal("negative dcomp accepted")
+	}
+	bad := []Phase{{Duration: 1, Contenders: []Contender{{CommFraction: 2}}}}
+	if _, err := PredictCompPhased(1, bad, DelayTables{}); err == nil {
+		t.Fatal("invalid contender accepted")
+	}
+	if got, err := PredictCompPhased(0, bad, DelayTables{}); err != nil || got != 0 {
+		t.Fatalf("zero work should short-circuit: %v, %v", got, err)
+	}
+}
+
+func TestPredictCommPhased(t *testing.T) {
+	tables := DelayTables{CompOnComm: []float64{1}} // 1 computing app doubles comm
+	phases := []Phase{
+		{Duration: 4, Contenders: []Contender{{CommFraction: 0}}}, // slowdown 2 → 2 units
+		{Contenders: nil}, // dedicated for the remaining 3 → 3s
+	}
+	got, err := PredictCommPhased(5, phases, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(got, 7, 1e-12) {
+		t.Fatalf("phased comm: %v, want 7", got)
+	}
+}

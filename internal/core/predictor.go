@@ -1,0 +1,130 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Direction names a transfer direction across the platform link.
+type Direction int
+
+const (
+	// HostToBack is front-end → back-end (the paper's Sun→CM2/Paragon).
+	HostToBack Direction = iota
+	// BackToHost is back-end → front-end.
+	BackToHost
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case HostToBack:
+		return "host→back"
+	case BackToHost:
+		return "back→host"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Calibration bundles everything the model needs for one platform: the
+// per-direction dedicated communication models and the delay tables.
+// It is produced once per platform by package calibrate and is constant
+// at run time; only the contender set changes.
+type Calibration struct {
+	ToBack   CommModel
+	ToHost   CommModel
+	Tables   DelayTables
+	Platform string
+}
+
+// Validate checks the calibration.
+func (c Calibration) Validate() error {
+	if err := c.ToBack.Validate(); err != nil {
+		return fmt.Errorf("to-back model: %w", err)
+	}
+	if err := c.ToHost.Validate(); err != nil {
+		return fmt.Errorf("to-host model: %w", err)
+	}
+	return c.Tables.Validate()
+}
+
+// Predictor produces slowdown-adjusted cost predictions from a
+// calibration and a contender set. It is the façade a scheduler uses to
+// rank candidate allocations.
+type Predictor struct {
+	cal Calibration
+}
+
+// NewPredictor validates the calibration and returns a predictor.
+func NewPredictor(cal Calibration) (*Predictor, error) {
+	if err := cal.Validate(); err != nil {
+		return nil, err
+	}
+	return &Predictor{cal: cal}, nil
+}
+
+// Calibration returns the predictor's calibration.
+func (p *Predictor) Calibration() Calibration { return p.cal }
+
+// model returns the dedicated comm model for a direction.
+func (p *Predictor) model(dir Direction) (CommModel, error) {
+	switch dir {
+	case HostToBack:
+		return p.cal.ToBack, nil
+	case BackToHost:
+		return p.cal.ToHost, nil
+	default:
+		return CommModel{}, fmt.Errorf("core: unknown direction %d", int(dir))
+	}
+}
+
+// DedicatedComm returns dcomm for the data sets in the given direction.
+// It is computed once per ⟨application, problem size, platform⟩ triple
+// and does not vary with load.
+func (p *Predictor) DedicatedComm(dir Direction, sets []DataSet) (float64, error) {
+	m, err := p.model(dir)
+	if err != nil {
+		return 0, err
+	}
+	return m.Dedicated(sets)
+}
+
+// PredictComm returns the slowdown-adjusted communication cost
+// C = dcomm × slowdown for the given contender set.
+func (p *Predictor) PredictComm(dir Direction, sets []DataSet, cs []Contender) (float64, error) {
+	dcomm, err := p.DedicatedComm(dir, sets)
+	if err != nil {
+		return 0, err
+	}
+	s, err := CommSlowdown(cs, p.cal.Tables)
+	if err != nil {
+		return 0, err
+	}
+	return dcomm * s, nil
+}
+
+// PredictComp returns T = dcomp × slowdown for computation on the
+// front-end under the given contender set.
+func (p *Predictor) PredictComp(dcomp float64, cs []Contender) (float64, error) {
+	if dcomp < 0 {
+		return 0, errors.New("core: negative dedicated computation time")
+	}
+	s, err := CompSlowdown(cs, p.cal.Tables)
+	if err != nil {
+		return 0, err
+	}
+	return dcomp * s, nil
+}
+
+// PredictCompWithJ is PredictComp with an explicit j column.
+func (p *Predictor) PredictCompWithJ(dcomp float64, cs []Contender, j int) (float64, error) {
+	if dcomp < 0 {
+		return 0, errors.New("core: negative dedicated computation time")
+	}
+	s, err := CompSlowdownWithJ(cs, p.cal.Tables, j)
+	if err != nil {
+		return 0, err
+	}
+	return dcomp * s, nil
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+
+	"contention/internal/prob"
+)
+
+// System tracks the set of applications currently sharing the front-end
+// and maintains the pcomp/pcomm distributions incrementally, mirroring
+// the paper's run-time usage: the slowdown factor "is always calculated
+// at run-time [and] must be efficient to compute relative to how quickly
+// applications enter and leave the system". Adding an application is
+// O(p); removal regenerates in O(p²); evaluating a slowdown is O(p)
+// (O(p²) worst case overall, which the paper deems negligible).
+type System struct {
+	contenders []Contender
+	comp       *prob.Calc // activity = computing
+	comm       *prob.Calc // activity = communicating
+	tables     DelayTables
+}
+
+// NewSystem returns an empty system using the given delay tables.
+func NewSystem(tables DelayTables) (*System, error) {
+	if err := tables.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{
+		comp:   prob.MustNew(),
+		comm:   prob.MustNew(),
+		tables: tables,
+	}, nil
+}
+
+// Len reports the number of contenders currently in the system.
+func (s *System) Len() int { return len(s.contenders) }
+
+// Contenders returns a copy of the current contender set.
+func (s *System) Contenders() []Contender {
+	return append([]Contender(nil), s.contenders...)
+}
+
+// Add registers a new application in O(p).
+func (s *System) Add(c Contender) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if err := s.comp.Add(c.CompFraction()); err != nil {
+		return err
+	}
+	if err := s.comm.Add(c.CommFraction); err != nil {
+		// Roll back the comp distribution to keep the two in step.
+		if rbErr := s.comp.Remove(s.comp.N() - 1); rbErr != nil {
+			return fmt.Errorf("core: %w (rollback failed: %v)", err, rbErr)
+		}
+		return err
+	}
+	s.contenders = append(s.contenders, c)
+	return nil
+}
+
+// Remove deletes the application at index, regenerating the
+// distributions in O(p²) (needed only when task migration is allowed,
+// per the paper).
+func (s *System) Remove(index int) error {
+	if index < 0 || index >= len(s.contenders) {
+		return fmt.Errorf("core: remove index %d out of range [0,%d)", index, len(s.contenders))
+	}
+	if err := s.comp.Remove(index); err != nil {
+		return err
+	}
+	if err := s.comm.Remove(index); err != nil {
+		return err
+	}
+	s.contenders = append(s.contenders[:index], s.contenders[index+1:]...)
+	return nil
+}
+
+// CommSlowdown evaluates the communication slowdown for the current set
+// in O(p) using the cached distributions.
+func (s *System) CommSlowdown() float64 {
+	out := 1.0
+	for i := 1; i <= len(s.contenders); i++ {
+		out += s.comp.P(i) * lookup(s.tables.CompOnComm, i)
+		out += s.comm.P(i) * lookup(s.tables.CommOnComm, i)
+	}
+	return out
+}
+
+// CompSlowdown evaluates the computation slowdown for the current set,
+// using the j column nearest the maximum contender message size.
+func (s *System) CompSlowdown() (float64, error) {
+	j := 0
+	for _, c := range s.contenders {
+		if c.MsgWords > j {
+			j = c.MsgWords
+		}
+	}
+	return s.CompSlowdownWithJ(j)
+}
+
+// CompSlowdownWithJ evaluates the computation slowdown with an explicit
+// j column.
+func (s *System) CompSlowdownWithJ(j int) (float64, error) {
+	out := 1.0
+	for i := 1; i <= len(s.contenders); i++ {
+		out += s.comp.P(i) * float64(i)
+		if p := s.comm.P(i); p > 0 {
+			d, err := s.tables.CommOnCompDelay(i, j)
+			if err != nil {
+				return 0, err
+			}
+			out += p * d
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,205 @@
+// Package cpu models a time-shared uniprocessor as an ideal
+// processor-sharing (PS) resource: CPU cycles are split equally among
+// all resident jobs of equal weight, which is precisely the scheduling
+// law the paper observed on the Sun front-ends ("CPU cycles are split
+// equally among all the processes running on the Sun with the same
+// priority"), and the origin of the slowdown = p+1 rule.
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"contention/internal/des"
+)
+
+// epsilon below which remaining work counts as finished; guards float drift.
+const eps = 1e-9
+
+// Host is a processor-sharing CPU attached to a simulation kernel.
+type Host struct {
+	k     *des.Kernel
+	name  string
+	speed float64 // work units per second when a job runs alone
+
+	jobs       []*job
+	completion *des.Event
+	lastUpdate float64
+
+	busyTime     float64 // total time with ≥1 resident job
+	loadIntegral float64 // ∫ (number of resident jobs) dt
+	completed    int
+
+	// Memory extension (see memory.go).
+	mem      MemoryConfig
+	hasMem   bool
+	resident int
+}
+
+type job struct {
+	remaining float64
+	weight    float64
+	proc      *des.Proc
+	onDone    func()
+}
+
+// NewHost returns a PS host with the given speed (work units/second).
+func NewHost(k *des.Kernel, name string, speed float64) *Host {
+	if speed <= 0 || math.IsNaN(speed) {
+		panic(fmt.Sprintf("cpu: invalid speed %v", speed))
+	}
+	return &Host{k: k, name: name, speed: speed}
+}
+
+// Name reports the host name.
+func (h *Host) Name() string { return h.name }
+
+// Speed reports the dedicated-mode speed in work units per second.
+func (h *Host) Speed() float64 { return h.speed }
+
+// Load reports the current number of resident jobs.
+func (h *Host) Load() int { return len(h.jobs) }
+
+// BusyTime reports the cumulative virtual time during which at least one
+// job was resident (updated lazily; call after the kernel is idle or at
+// event boundaries for exact values).
+func (h *Host) BusyTime() float64 {
+	h.advance()
+	return h.busyTime
+}
+
+// LoadIntegral reports ∫(number of resident jobs)dt since t=0; windowed
+// averages come from differencing two readings.
+func (h *Host) LoadIntegral() float64 {
+	h.advance()
+	return h.loadIntegral
+}
+
+// AvgLoad reports the time-averaged number of resident jobs since t=0.
+func (h *Host) AvgLoad() float64 {
+	h.advance()
+	if now := h.k.Now(); now > 0 {
+		return h.loadIntegral / now
+	}
+	return 0
+}
+
+// Completed reports the number of jobs that have finished service.
+func (h *Host) Completed() int { return h.completed }
+
+// Compute runs `work` units on the host under processor sharing,
+// blocking p until the work completes. Zero work yields once and returns.
+func (h *Host) Compute(p *des.Proc, work float64) {
+	h.ComputeWeighted(p, work, 1)
+}
+
+// ComputeWeighted is Compute with a relative share weight (default 1).
+// A job with weight w receives a w/Σw fraction of the processor.
+func (h *Host) ComputeWeighted(p *des.Proc, work, weight float64) {
+	if work < 0 || math.IsNaN(work) {
+		panic(fmt.Sprintf("cpu: invalid work %v", work))
+	}
+	if weight <= 0 || math.IsNaN(weight) {
+		panic(fmt.Sprintf("cpu: invalid weight %v", weight))
+	}
+	if work == 0 {
+		p.Delay(0)
+		return
+	}
+	h.advance()
+	h.jobs = append(h.jobs, &job{remaining: work, weight: weight, proc: p})
+	h.reschedule()
+	p.Park()
+}
+
+// ComputeAsync enqueues work whose completion invokes onDone in kernel
+// context instead of blocking a process. Used by resources (e.g. the
+// link's data-conversion stage) that are not themselves processes.
+func (h *Host) ComputeAsync(work float64, onDone func()) {
+	if work < 0 || math.IsNaN(work) {
+		panic(fmt.Sprintf("cpu: invalid work %v", work))
+	}
+	if work == 0 {
+		h.k.After(0, onDone)
+		return
+	}
+	h.advance()
+	h.jobs = append(h.jobs, &job{remaining: work, weight: 1, onDone: onDone})
+	h.reschedule()
+}
+
+// advance applies elapsed time to all resident jobs' remaining work.
+func (h *Host) advance() {
+	now := h.k.Now()
+	dt := now - h.lastUpdate
+	h.lastUpdate = now
+	if dt <= 0 || len(h.jobs) == 0 {
+		return
+	}
+	h.busyTime += dt
+	h.loadIntegral += dt * float64(len(h.jobs))
+	total := h.totalWeight()
+	eff := h.speed / h.PagingFactor()
+	for _, j := range h.jobs {
+		j.remaining -= dt * eff * j.weight / total
+	}
+}
+
+func (h *Host) totalWeight() float64 {
+	w := 0.0
+	for _, j := range h.jobs {
+		w += j.weight
+	}
+	return w
+}
+
+// reschedule (re)installs the completion event for the earliest
+// finishing job given current membership.
+func (h *Host) reschedule() {
+	if h.completion != nil {
+		h.k.Cancel(h.completion)
+		h.completion = nil
+	}
+	if len(h.jobs) == 0 {
+		return
+	}
+	total := h.totalWeight()
+	eff := h.speed / h.PagingFactor()
+	next := math.Inf(1)
+	for _, j := range h.jobs {
+		t := j.remaining * total / (eff * j.weight)
+		if t < next {
+			next = t
+		}
+	}
+	if next < 0 {
+		next = 0
+	}
+	h.completion = h.k.After(next, h.finishDue)
+}
+
+// finishDue retires every job whose remaining work has reached zero.
+func (h *Host) finishDue() {
+	h.completion = nil
+	h.advance()
+	var keep []*job
+	var done []*job
+	for _, j := range h.jobs {
+		if j.remaining <= eps {
+			done = append(done, j)
+		} else {
+			keep = append(keep, j)
+		}
+	}
+	h.jobs = keep
+	h.reschedule()
+	for _, j := range done {
+		h.completed++
+		if j.proc != nil {
+			j.proc.Resume()
+		} else if j.onDone != nil {
+			fn := j.onDone
+			h.k.After(0, fn)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+// Package des implements a deterministic discrete-event simulation
+// kernel used to emulate the coupled heterogeneous platforms of
+// Figueira & Berman (HPDC'96).
+//
+// The kernel advances a virtual clock over a heap of cancelable events.
+// Simulated activities are written as ordinary imperative Go functions
+// running in "processes" (goroutines that the kernel resumes one at a
+// time, so execution is sequential and fully deterministic). Resources
+// such as processor-sharing CPUs and FCFS links are built on top of the
+// kernel's event primitives in sibling packages.
+//
+// Determinism: exactly one goroutine (the kernel or a single process) is
+// runnable at any instant; control transfers through unbuffered channel
+// handshakes; simultaneous events fire in schedule order (a monotonically
+// increasing sequence number breaks time ties).
+package des

@@ -1,0 +1,128 @@
+package des
+
+import "fmt"
+
+// Proc is a simulated process: a goroutine whose execution the kernel
+// interleaves with events deterministically. At most one process (or the
+// kernel) runs at a time; a process gives up control by parking (Delay,
+// mailbox receive, resource acquisition) and is resumed by kernel events.
+type Proc struct {
+	k    *Kernel
+	name string
+	wake chan struct{}
+	dead bool
+}
+
+// Name reports the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel the process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now is shorthand for p.Kernel().Now().
+func (p *Proc) Now() float64 { return p.k.now }
+
+// Spawn creates a process executing body. The body starts at the current
+// virtual time, after already-queued events at that time.
+func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, wake: make(chan struct{})}
+	k.procs++
+	k.After(0, func() {
+		go func() {
+			defer func() {
+				p.dead = true
+				k.procs--
+				k.yield <- struct{}{}
+			}()
+			body(p)
+		}()
+		<-k.yield // wait until the process parks or finishes
+	})
+	return p
+}
+
+// park suspends the process until something resumes it. Must only be
+// called from the process's own goroutine.
+func (p *Proc) park() {
+	p.k.yield <- struct{}{}
+	<-p.wake
+}
+
+// Park suspends the process until another simulation context calls
+// Resume. It is the low-level hook for resource implementations in
+// other packages (CPU hosts, links); application code should prefer the
+// higher-level primitives.
+func (p *Proc) Park() { p.park() }
+
+// resume transfers control to a parked process and waits for it to park
+// again or finish. Must only be called from kernel context (inside an
+// event callback), never from another process.
+func (p *Proc) resume() {
+	if p.dead {
+		panic(fmt.Sprintf("des: resume of dead process %q", p.name))
+	}
+	p.wake <- struct{}{}
+	<-p.k.yield
+}
+
+// Resume schedules the process to be woken at the current virtual time.
+// Safe to call from any simulation context (event or another process).
+func (p *Proc) Resume() {
+	p.k.After(0, func() { p.resume() })
+}
+
+// Delay advances the process by d seconds of virtual time.
+func (p *Proc) Delay(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", d))
+	}
+	if d == 0 {
+		// Still yield so same-time events interleave fairly.
+		p.k.After(0, func() { p.resume() })
+		p.park()
+		return
+	}
+	p.k.After(d, func() { p.resume() })
+	p.park()
+}
+
+// waiter is the unit parked in wait queues: resuming it hands control to
+// the process via the kernel.
+type waiter struct {
+	p *Proc
+}
+
+// waitQueue is a FIFO of parked processes used by the synchronization
+// primitives and resources.
+type waitQueue struct {
+	ws []*waiter
+}
+
+func (q *waitQueue) empty() bool { return len(q.ws) == 0 }
+func (q *waitQueue) len() int    { return len(q.ws) }
+
+func (q *waitQueue) push(p *Proc) *waiter {
+	w := &waiter{p: p}
+	q.ws = append(q.ws, w)
+	return w
+}
+
+func (q *waitQueue) pop() *waiter {
+	if len(q.ws) == 0 {
+		return nil
+	}
+	w := q.ws[0]
+	q.ws = q.ws[1:]
+	return w
+}
+
+// remove deletes a specific waiter (used for timeouts); reports success.
+func (q *waitQueue) remove(w *waiter) bool {
+	for i, x := range q.ws {
+		if x == w {
+			q.ws = append(q.ws[:i], q.ws[i+1:]...)
+			return true
+		}
+	}
+	return false
+}

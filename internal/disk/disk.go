@@ -1,0 +1,116 @@
+// Package disk models the front-end's local disk as an FCFS device
+// with a per-operation seek and a transfer rate. It exists for the
+// paper's I/O extension (§4: "we are currently extending our model to
+// include … I/O operations") and for its §1 observation that load
+// *characteristics* matter: an I/O-bound contender spends most of its
+// time waiting on the device and therefore imposes far less CPU
+// contention than a CPU-bound one — which the extended model captures
+// through per-contender activity fractions.
+package disk
+
+import (
+	"fmt"
+	"math"
+
+	"contention/internal/cpu"
+	"contention/internal/des"
+)
+
+// Config describes the device.
+type Config struct {
+	Name string
+	// Seek is the per-operation positioning time in seconds.
+	Seek float64
+	// Rate is the transfer rate in words per second.
+	Rate float64
+	// Host, when non-nil, is charged CPUPerOp of work per operation
+	// (driver/interrupt overhead).
+	Host *cpu.Host
+	// CPUPerOp is the CPU work per operation on Host.
+	CPUPerOp float64
+}
+
+func (c Config) validate() error {
+	if c.Seek < 0 || math.IsNaN(c.Seek) {
+		return fmt.Errorf("disk %q: invalid seek %v", c.Name, c.Seek)
+	}
+	if c.Rate <= 0 || math.IsNaN(c.Rate) {
+		return fmt.Errorf("disk %q: rate %v must be positive", c.Name, c.Rate)
+	}
+	if c.CPUPerOp < 0 {
+		return fmt.Errorf("disk %q: negative CPU per op %v", c.Name, c.CPUPerOp)
+	}
+	return nil
+}
+
+// Disk is the FCFS device.
+type Disk struct {
+	k   *des.Kernel
+	cfg Config
+	arm *des.Semaphore
+
+	busyTime float64
+	ops      int
+	words    int
+}
+
+// New builds a disk from cfg.
+func New(k *des.Kernel, cfg Config) (*Disk, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Disk{k: k, cfg: cfg, arm: des.NewSemaphore(k, 1)}, nil
+}
+
+// MustNew is New but panics on config errors.
+func MustNew(k *des.Kernel, cfg Config) *Disk {
+	d, err := New(k, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Config returns the device configuration.
+func (d *Disk) Config() Config { return d.cfg }
+
+// OpTime returns the dedicated duration of one operation.
+func (d *Disk) OpTime(words int) float64 {
+	if words < 0 {
+		panic(fmt.Sprintf("disk: negative operation size %d", words))
+	}
+	return d.cfg.Seek + float64(words)/d.cfg.Rate
+}
+
+// Op performs one read/write of the given size, blocking p through the
+// FCFS queue and the device time. The caller's CPU is idle meanwhile —
+// the defining property of I/O-bound load.
+func (d *Disk) Op(p *des.Proc, words int) {
+	t := d.OpTime(words)
+	if d.cfg.Host != nil && d.cfg.CPUPerOp > 0 {
+		d.cfg.Host.Compute(p, d.cfg.CPUPerOp)
+	}
+	d.arm.Acquire(p)
+	p.Delay(t)
+	d.busyTime += t
+	d.ops++
+	d.words += words
+	d.arm.Release()
+}
+
+// BusyTime reports cumulative device occupancy.
+func (d *Disk) BusyTime() float64 { return d.busyTime }
+
+// Ops reports completed operations.
+func (d *Disk) Ops() int { return d.ops }
+
+// WordsMoved reports total words transferred.
+func (d *Disk) WordsMoved() int { return d.words }
+
+// Utilization reports the device busy fraction since t=0.
+func (d *Disk) Utilization() float64 {
+	if now := d.k.Now(); now > 0 {
+		return d.busyTime / now
+	}
+	return 0
+}

@@ -1,0 +1,334 @@
+package emu
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func testSpinner(t *testing.T) *Spinner {
+	t.Helper()
+	s, err := CalibrateSpinner(30 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCalibrateSpinner(t *testing.T) {
+	s := testSpinner(t)
+	if s.OpsPerSec() < 1e6 {
+		t.Fatalf("implausible spin rate %v ops/s", s.OpsPerSec())
+	}
+	if _, err := CalibrateSpinner(0); err == nil {
+		t.Fatal("zero calibration duration accepted")
+	}
+}
+
+func TestSpinForTakesRoughlyRightTime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	s := testSpinner(t)
+	start := time.Now()
+	s.SpinFor(0.05)
+	elapsed := time.Since(start).Seconds()
+	if elapsed < 0.02 || elapsed > 0.25 {
+		t.Fatalf("SpinFor(50ms) took %.3fs", elapsed)
+	}
+}
+
+func TestHostComputeValidation(t *testing.T) {
+	s := testSpinner(t)
+	h, err := NewHost(s, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if err := h.Compute(-1); err == nil {
+		t.Fatal("negative work accepted")
+	}
+	if err := h.Compute(0); err != nil {
+		t.Fatal("zero work should be a no-op")
+	}
+	if _, err := NewHost(nil, 1e-3); err == nil {
+		t.Fatal("nil spinner accepted")
+	}
+	if _, err := NewHost(s, 0); err == nil {
+		t.Fatal("zero quantum accepted")
+	}
+}
+
+func TestHostRejectsComputeAfterClose(t *testing.T) {
+	s := testSpinner(t)
+	h, err := NewHost(s, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+	if err := h.Compute(0.01); err == nil {
+		t.Fatal("Compute after Close accepted")
+	}
+}
+
+func TestHostFairSharing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	s := testSpinner(t)
+	h, err := NewHost(s, 5e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	// Two equal jobs submitted together should finish nearly together.
+	var wg sync.WaitGroup
+	times := make([]time.Duration, 2)
+	start := time.Now()
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := h.Compute(0.05); err != nil {
+				t.Error(err)
+				return
+			}
+			times[i] = time.Since(start)
+		}()
+	}
+	wg.Wait()
+	ratio := float64(times[0]) / float64(times[1])
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("equal jobs finished at %v and %v (ratio %.2f)", times[0], times[1], ratio)
+	}
+}
+
+func TestComputeSlowdownMatchesPPlusOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	s := testSpinner(t)
+	for _, p := range []int{1, 3} {
+		res, err := ComputeSlowdown(s, 0.08, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := float64(p + 1)
+		if res.Slowdown < model*0.7 || res.Slowdown > model*1.35 {
+			t.Fatalf("p=%d: live slowdown %.2f, model %v (outside ±35%%)", p, res.Slowdown, model)
+		}
+	}
+}
+
+func TestComputeSlowdownValidation(t *testing.T) {
+	s := testSpinner(t)
+	if _, err := ComputeSlowdown(s, 0.01, -1); err == nil {
+		t.Fatal("negative p accepted")
+	}
+	if _, err := ComputeSlowdown(s, 0, 1); err == nil {
+		t.Fatal("zero work accepted")
+	}
+}
+
+func TestLinkSendAndAck(t *testing.T) {
+	l, err := NewLink(1e6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	c, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 10; i++ {
+		if err := c.Send(100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.Messages(); got != 10 {
+		t.Fatalf("sink saw %d messages, want 10", got)
+	}
+	if err := c.Send(-1); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestLinkValidation(t *testing.T) {
+	if _, err := NewLink(0, 0); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	if _, err := NewLink(1e6, -time.Second); err == nil {
+		t.Fatal("negative startup accepted")
+	}
+}
+
+func TestLinkPacingRoughlyMatchesConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	l, err := NewLink(500_000, 200*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	c, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const count, words = 100, 400 // 200µs + 800µs = 1ms per message
+	start := time.Now()
+	for i := 0; i < count; i++ {
+		if err := c.Send(words); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	want := time.Duration(count) * time.Millisecond
+	if elapsed < want || elapsed > 3*want {
+		t.Fatalf("burst took %v, want within [%v, %v]", elapsed, want, 3*want)
+	}
+}
+
+func TestLinkContentionMatchesFCFSModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	res, err := LinkContention(60, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slowdown < 1.4 || res.Slowdown > 2.8 {
+		t.Fatalf("1 contender: slowdown %.2f, model 2 (outside band)", res.Slowdown)
+	}
+}
+
+func TestLinkContentionValidation(t *testing.T) {
+	if _, err := LinkContention(0, 1, 1); err == nil {
+		t.Fatal("zero count accepted")
+	}
+	if _, err := LinkContention(1, -1, 1); err == nil {
+		t.Fatal("negative words accepted")
+	}
+	if _, err := LinkContention(1, 1, -1); err == nil {
+		t.Fatal("negative contenders accepted")
+	}
+}
+
+func TestSubmitCancelWithdrawsJob(t *testing.T) {
+	s := testSpinner(t)
+	h, err := NewHost(s, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	jh, err := h.Submit(1e9) // effectively infinite
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Load() != 1 {
+		t.Fatalf("Load = %d, want 1", h.Load())
+	}
+	jh.Cancel()
+	jh.Cancel() // idempotent
+	if !jh.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+	jh.Wait() // must not block
+	// The queue drains promptly after cancellation.
+	deadline := time.Now().Add(time.Second)
+	for h.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("Load = %d after cancel", h.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := testSpinner(t)
+	h, err := NewHost(s, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if _, err := h.Submit(0); err == nil {
+		t.Fatal("zero-work Submit accepted")
+	}
+}
+
+func TestCancelAfterCompletionIsNoOp(t *testing.T) {
+	s := testSpinner(t)
+	h, err := NewHost(s, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	jh, err := h.Submit(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jh.Wait()
+	jh.Cancel()
+	if jh.Canceled() {
+		t.Fatal("completed job reported canceled")
+	}
+}
+
+func TestCloseCancelsResidentJobs(t *testing.T) {
+	s := testSpinner(t)
+	h, err := NewHost(s, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jh, err := h.Submit(1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+	jh.Wait() // released by Close
+	h.Close() // idempotent
+}
+
+func TestMixtureSlowdownMatchesObservedUtilization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	s := testSpinner(t)
+	// Two alternators off-CPU half of each cycle: the probe's slowdown
+	// must match the work-conservation prediction from their observed
+	// CPU utilizations, and sit well below the p+1 worst case.
+	res, err := MixtureSlowdown(s, 0.2, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slowdown <= 1.05 || res.Slowdown >= 3 {
+		t.Fatalf("live slowdown %.2f outside (1.05, 3)", res.Slowdown)
+	}
+	if res.ErrPct > 25 {
+		t.Fatalf("utilization model error %.1f%%, want ≤ 25%% (model %.2f vs measured %.2f)",
+			res.ErrPct, res.ModelSlowdown, res.Slowdown)
+	}
+	// The observed-parameter prediction must beat the naive worst case.
+	worstErr := 100 * abs(3.0-res.Slowdown) / res.Slowdown
+	if res.ErrPct >= worstErr {
+		t.Fatalf("mixture error %.1f%% not below worst-case error %.1f%%", res.ErrPct, worstErr)
+	}
+	for i, rho := range res.ObservedCPUFracs {
+		if rho <= 0 || rho >= 0.5 {
+			t.Fatalf("contender %d utilization %v implausible", i, rho)
+		}
+	}
+}
+
+func TestMixtureSlowdownValidation(t *testing.T) {
+	s := testSpinner(t)
+	if _, err := MixtureSlowdown(s, 0, nil); err == nil {
+		t.Fatal("zero work accepted")
+	}
+	if _, err := MixtureSlowdown(s, 0.1, []float64{1.5}); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+}

@@ -1,0 +1,299 @@
+package emu
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ComputeResult is the outcome of the live CPU-contention experiment.
+type ComputeResult struct {
+	P         int
+	Dedicated time.Duration
+	Contended time.Duration
+	// Slowdown is Contended/Dedicated; the model predicts p+1.
+	Slowdown float64
+	// ModelSlowdown is the paper's prediction.
+	ModelSlowdown float64
+	// ErrPct is the relative model error in percent.
+	ErrPct float64
+}
+
+// ComputeSlowdown runs the live CPU experiment: measure a job of `work`
+// CPU-seconds alone on the fair-share host, then again with p CPU-bound
+// hog goroutines, and compare the measured slowdown to p+1.
+func ComputeSlowdown(spinner *Spinner, work float64, p int) (ComputeResult, error) {
+	if p < 0 {
+		return ComputeResult{}, fmt.Errorf("emu: negative contender count %d", p)
+	}
+	if work <= 0 {
+		return ComputeResult{}, fmt.Errorf("emu: work %v must be positive", work)
+	}
+	host, err := NewHost(spinner, 1e-3)
+	if err != nil {
+		return ComputeResult{}, err
+	}
+	defer host.Close()
+
+	measure := func() (time.Duration, error) {
+		start := time.Now()
+		if err := host.Compute(work); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+
+	dedicated, err := measure()
+	if err != nil {
+		return ComputeResult{}, err
+	}
+
+	// Submit p permanently resident CPU-bound hogs (withdrawn after the
+	// measurement — how a real contender would eventually exit).
+	hogs := make([]*JobHandle, 0, p)
+	for i := 0; i < p; i++ {
+		jh, err := host.Submit(1e9)
+		if err != nil {
+			return ComputeResult{}, err
+		}
+		hogs = append(hogs, jh)
+	}
+	contended, err := measure()
+	for _, jh := range hogs {
+		jh.Cancel()
+	}
+	if err != nil {
+		return ComputeResult{}, err
+	}
+
+	slow := float64(contended) / float64(dedicated)
+	model := float64(p + 1)
+	return ComputeResult{
+		P:             p,
+		Dedicated:     dedicated,
+		Contended:     contended,
+		Slowdown:      slow,
+		ModelSlowdown: model,
+		ErrPct:        100 * abs(model-slow) / slow,
+	}, nil
+}
+
+// LinkResult is the outcome of the live link-contention experiment.
+type LinkResult struct {
+	Contenders int
+	Dedicated  time.Duration
+	Contended  time.Duration
+	Slowdown   float64
+	// ModelSlowdown: with n extra always-sending peers on an FCFS wire,
+	// the target's burst takes about n+1 times as long.
+	ModelSlowdown float64
+	ErrPct        float64
+}
+
+// LinkContention measures a burst of count words-sized messages alone,
+// then with n contender goroutines streaming the same messages over the
+// shared wire, and compares against the n+1 FCFS prediction.
+func LinkContention(count, words, contenders int) (LinkResult, error) {
+	if count <= 0 || words < 0 || contenders < 0 {
+		return LinkResult{}, fmt.Errorf("emu: invalid experiment (count %d, words %d, contenders %d)", count, words, contenders)
+	}
+	// 1 ms per 250-word message keeps the experiment brief but well
+	// above scheduler noise.
+	link, err := NewLink(500_000, 200*time.Microsecond)
+	if err != nil {
+		return LinkResult{}, err
+	}
+	defer link.Close()
+
+	burst := func(c *Conn) (time.Duration, error) {
+		start := time.Now()
+		for i := 0; i < count; i++ {
+			if err := c.Send(words); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	target, err := link.Dial()
+	if err != nil {
+		return LinkResult{}, err
+	}
+	defer target.Close()
+
+	dedicated, err := burst(target)
+	if err != nil {
+		return LinkResult{}, err
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < contenders; i++ {
+		conn, err := link.Dial()
+		if err != nil {
+			close(stop)
+			wg.Wait()
+			return LinkResult{}, err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := conn.Send(words); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	// Give contenders time to start queueing on the wire.
+	time.Sleep(20 * time.Millisecond)
+	contended, err := burst(target)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		return LinkResult{}, err
+	}
+
+	slow := float64(contended) / float64(dedicated)
+	model := float64(contenders + 1)
+	return LinkResult{
+		Contenders:    contenders,
+		Dedicated:     dedicated,
+		Contended:     contended,
+		Slowdown:      slow,
+		ModelSlowdown: model,
+		ErrPct:        100 * abs(model-slow) / slow,
+	}, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// MixtureResult is the outcome of the live mixture-law experiment.
+type MixtureResult struct {
+	// SpecFracs are the contenders' requested non-CPU fractions.
+	SpecFracs []float64
+	// ObservedCPUFracs are the CPU utilizations (consumed CPU seconds
+	// over wall seconds) each contender actually achieved during the
+	// contended window — the paper's run-time application-dependent
+	// parameters, observed rather than assumed, since wall-clock sleeps
+	// and compute phases both stretch on a loaded machine.
+	ObservedCPUFracs []float64
+	// Dedicated and Contended are the probe's wall-clock times.
+	Dedicated, Contended time.Duration
+	// Slowdown is the measured ratio.
+	Slowdown float64
+	// ModelSlowdown is the processor-sharing prediction from the
+	// observed utilizations: with the contenders consuming Σρ of the
+	// CPU, a work-conserving fair-share host leaves the probe a 1−Σρ
+	// share, so its slowdown is 1/(1−Σρ).
+	ModelSlowdown float64
+	ErrPct        float64
+}
+
+// MixtureSlowdown runs the live counterpart of the paper's
+// probabilistic mixture: alternator goroutines that compute part of
+// each cycle and spend the rest off-CPU, against a CPU-bound probe on
+// the fair-share host. As in the paper, the model consumes the
+// contenders' run-time computation percentages — here observed during
+// the contended window, since compute phases stretch under sharing.
+func MixtureSlowdown(spinner *Spinner, work float64, fracs []float64) (MixtureResult, error) {
+	if work <= 0 {
+		return MixtureResult{}, fmt.Errorf("emu: work %v must be positive", work)
+	}
+	for _, f := range fracs {
+		if f < 0 || f > 1 {
+			return MixtureResult{}, fmt.Errorf("emu: fraction %v out of [0,1]", f)
+		}
+	}
+	host, err := NewHost(spinner, 1e-3)
+	if err != nil {
+		return MixtureResult{}, err
+	}
+	defer host.Close()
+
+	measure := func() (time.Duration, error) {
+		start := time.Now()
+		if err := host.Compute(work); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+	dedicated, err := measure()
+	if err != nil {
+		return MixtureResult{}, err
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	const period = 10e-3
+	cpuConsumed := make([]float64, len(fracs)) // CPU seconds per contender
+	totalWall := make([]time.Duration, len(fracs))
+	for i, f := range fracs {
+		i, f := i, f
+		wg.Add(1)
+		offset := time.Duration(i) * 3 * time.Millisecond // stagger cycles
+		go func() {
+			defer wg.Done()
+			time.Sleep(offset)
+			begin := time.Now()
+			for {
+				select {
+				case <-stop:
+					totalWall[i] = time.Since(begin)
+					return
+				default:
+				}
+				if err := host.Compute((1 - f) * period); err != nil {
+					totalWall[i] = time.Since(begin)
+					return
+				}
+				cpuConsumed[i] += (1 - f) * period
+				if f > 0 {
+					// The non-CPU phase: network wait / device time.
+					time.Sleep(time.Duration(f * period * float64(time.Second)))
+				}
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // reach steady state
+	contended, err := measure()
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		return MixtureResult{}, err
+	}
+
+	slow := float64(contended) / float64(dedicated)
+	observed := make([]float64, len(fracs))
+	sumRho := 0.0
+	for i := range fracs {
+		if totalWall[i] > 0 {
+			observed[i] = cpuConsumed[i] / totalWall[i].Seconds()
+		}
+		sumRho += observed[i]
+	}
+	model := slow // degenerate fallback
+	if sumRho < 0.95 {
+		model = 1 / (1 - sumRho)
+	}
+	return MixtureResult{
+		SpecFracs:        append([]float64(nil), fracs...),
+		ObservedCPUFracs: observed,
+		Dedicated:        dedicated,
+		Contended:        contended,
+		Slowdown:         slow,
+		ModelSlowdown:    model,
+		ErrPct:           100 * abs(model-slow) / slow,
+	}, nil
+}

@@ -1,0 +1,196 @@
+package emu
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Host emulates a time-shared uniprocessor: all submitted work executes
+// on a single executor goroutine that grants fixed CPU quanta to
+// resident jobs in round-robin order. Because exactly one quantum runs
+// at a time, CPU cycles are split equally among resident jobs whatever
+// GOMAXPROCS is — the fair-share law behind the paper's p+1 slowdown,
+// reproduced with real wall-clock execution.
+type Host struct {
+	spinner *Spinner
+	quantum float64 // CPU-seconds per grant
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	jobs   []*emuJob
+	rr     int
+	closed bool
+	done   chan struct{}
+}
+
+type emuJob struct {
+	remaining float64
+	canceled  bool
+	finished  chan struct{}
+}
+
+// JobHandle refers to a submitted job.
+type JobHandle struct {
+	h   *Host
+	job *emuJob
+}
+
+// NewHost starts the executor. Quantum is in CPU-seconds (e.g. 1e-3).
+func NewHost(spinner *Spinner, quantum float64) (*Host, error) {
+	if spinner == nil {
+		return nil, errors.New("emu: nil spinner")
+	}
+	if quantum <= 0 {
+		return nil, fmt.Errorf("emu: quantum %v must be positive", quantum)
+	}
+	h := &Host{spinner: spinner, quantum: quantum, done: make(chan struct{})}
+	h.cond = sync.NewCond(&h.mu)
+	go h.run()
+	return h, nil
+}
+
+func (h *Host) run() {
+	defer close(h.done)
+	for {
+		h.mu.Lock()
+		for len(h.jobs) == 0 && !h.closed {
+			h.cond.Wait()
+		}
+		if h.closed {
+			// Cancel whatever is still resident and exit.
+			for _, j := range h.jobs {
+				j.canceled = true
+				close(j.finished)
+			}
+			h.jobs = nil
+			h.mu.Unlock()
+			return
+		}
+		if h.rr >= len(h.jobs) {
+			h.rr = 0
+		}
+		job := h.jobs[h.rr]
+		grant := h.quantum
+		if job.remaining < grant {
+			grant = job.remaining
+		}
+		h.mu.Unlock()
+
+		h.spinner.SpinFor(grant)
+
+		h.mu.Lock()
+		job.remaining -= grant
+		if job.canceled {
+			// Already detached by Cancel; nothing to retire.
+		} else if job.remaining <= 1e-12 {
+			h.retireLocked(job)
+			close(job.finished)
+		} else {
+			h.rr++
+		}
+		if h.rr >= len(h.jobs) {
+			h.rr = 0
+		}
+		h.mu.Unlock()
+	}
+}
+
+// retireLocked removes the job from the queue, keeping the round-robin
+// cursor stable. Caller holds h.mu.
+func (h *Host) retireLocked(job *emuJob) {
+	for i, j := range h.jobs {
+		if j == job {
+			h.jobs = append(h.jobs[:i], h.jobs[i+1:]...)
+			if i < h.rr {
+				h.rr--
+			}
+			return
+		}
+	}
+}
+
+// Submit enqueues cpuSeconds of work without blocking. Use Wait on the
+// handle to block for completion, Cancel to withdraw the job (how a
+// long-lived CPU-bound contender leaves the system).
+func (h *Host) Submit(cpuSeconds float64) (*JobHandle, error) {
+	if cpuSeconds <= 0 {
+		return nil, fmt.Errorf("emu: work %v must be positive", cpuSeconds)
+	}
+	job := &emuJob{remaining: cpuSeconds, finished: make(chan struct{})}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil, errors.New("emu: host closed")
+	}
+	h.jobs = append(h.jobs, job)
+	h.cond.Signal()
+	h.mu.Unlock()
+	return &JobHandle{h: h, job: job}, nil
+}
+
+// Wait blocks until the job finishes or is canceled.
+func (jh *JobHandle) Wait() { <-jh.job.finished }
+
+// Canceled reports whether the job was withdrawn before completion.
+func (jh *JobHandle) Canceled() bool {
+	jh.h.mu.Lock()
+	defer jh.h.mu.Unlock()
+	return jh.job.canceled
+}
+
+// Cancel withdraws the job. Idempotent; a no-op after completion.
+func (jh *JobHandle) Cancel() {
+	h := jh.h
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if jh.job.canceled {
+		return
+	}
+	select {
+	case <-jh.job.finished:
+		return // already completed
+	default:
+	}
+	jh.job.canceled = true
+	h.retireLocked(jh.job)
+	close(jh.job.finished)
+}
+
+// Compute blocks the caller until cpuSeconds of work have executed
+// under fair sharing. Zero work is a no-op. Safe for concurrent use.
+func (h *Host) Compute(cpuSeconds float64) error {
+	if cpuSeconds < 0 {
+		return fmt.Errorf("emu: negative work %v", cpuSeconds)
+	}
+	if cpuSeconds == 0 {
+		return nil
+	}
+	jh, err := h.Submit(cpuSeconds)
+	if err != nil {
+		return err
+	}
+	jh.Wait()
+	return nil
+}
+
+// Load reports the number of resident jobs.
+func (h *Host) Load() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.jobs)
+}
+
+// Close stops the executor, canceling resident jobs.
+func (h *Host) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		<-h.done
+		return
+	}
+	h.closed = true
+	h.cond.Broadcast()
+	h.mu.Unlock()
+	<-h.done
+}

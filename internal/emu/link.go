@@ -1,0 +1,152 @@
+package emu
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Link emulates the private Ethernet with real loopback TCP: a sink
+// server acknowledges framed messages, and a shared wire lock paces
+// each transmission to startup + words/bandwidth, so concurrent senders
+// experience genuine FCFS contention — the distributed-contention half
+// of the live emulation.
+type Link struct {
+	bandwidth float64       // words per second
+	perMsg    time.Duration // startup per message
+
+	ln   net.Listener
+	wire sync.Mutex
+
+	mu     sync.Mutex
+	sent   int
+	closed bool
+}
+
+// NewLink starts the sink server on a loopback port.
+func NewLink(bandwidthWords float64, perMsg time.Duration) (*Link, error) {
+	if bandwidthWords <= 0 {
+		return nil, fmt.Errorf("emu: bandwidth %v must be positive", bandwidthWords)
+	}
+	if perMsg < 0 {
+		return nil, fmt.Errorf("emu: negative per-message startup %v", perMsg)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("emu: listen: %w", err)
+	}
+	l := &Link{bandwidth: bandwidthWords, perMsg: perMsg, ln: ln}
+	go l.serve()
+	return l, nil
+}
+
+// Addr reports the sink's address.
+func (l *Link) Addr() string { return l.ln.Addr().String() }
+
+// Messages reports the number of messages acknowledged by the sink.
+func (l *Link) Messages() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sent
+}
+
+func (l *Link) serve() {
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go l.handle(conn)
+	}
+}
+
+func (l *Link) handle(conn net.Conn) {
+	defer conn.Close()
+	var hdr [4]byte
+	buf := make([]byte, 64*1024)
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		n := int(binary.BigEndian.Uint32(hdr[:]))
+		remaining := n * 4
+		for remaining > 0 {
+			chunk := remaining
+			if chunk > len(buf) {
+				chunk = len(buf)
+			}
+			if _, err := io.ReadFull(conn, buf[:chunk]); err != nil {
+				return
+			}
+			remaining -= chunk
+		}
+		l.mu.Lock()
+		l.sent++
+		l.mu.Unlock()
+		if _, err := conn.Write([]byte{1}); err != nil { // ack
+			return
+		}
+	}
+}
+
+// Conn is one application's connection to the sink.
+type Conn struct {
+	link *Link
+	c    net.Conn
+	ack  [1]byte
+}
+
+// Dial opens a sender connection.
+func (l *Link) Dial() (*Conn, error) {
+	c, err := net.Dial("tcp", l.Addr())
+	if err != nil {
+		return nil, fmt.Errorf("emu: dial: %w", err)
+	}
+	return &Conn{link: l, c: c}, nil
+}
+
+// Send transmits one framed message of the given word count and waits
+// for the acknowledgement. The shared wire lock is held for the paced
+// transmission time, so concurrent senders serialize FCFS.
+func (c *Conn) Send(words int) error {
+	if words < 0 {
+		return fmt.Errorf("emu: negative message size %d", words)
+	}
+	tx := c.link.perMsg + time.Duration(float64(words)/c.link.bandwidth*float64(time.Second))
+
+	c.link.wire.Lock()
+	time.Sleep(tx)
+	payload := make([]byte, 4+words*4)
+	binary.BigEndian.PutUint32(payload[:4], uint32(words))
+	_, err := c.c.Write(payload)
+	c.link.wire.Unlock()
+	if err != nil {
+		return fmt.Errorf("emu: send: %w", err)
+	}
+	if _, err := io.ReadFull(c.c, c.ack[:]); err != nil {
+		return fmt.Errorf("emu: ack: %w", err)
+	}
+	return nil
+}
+
+// Close closes the sender connection.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// Close shuts the sink down.
+func (l *Link) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	return l.ln.Close()
+}
+
+// ErrClosed is returned by operations on a closed link.
+var ErrClosed = errors.New("emu: link closed")

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"sync"
+
+	"contention/internal/calibrate"
+	"contention/internal/core"
+	"contention/internal/platform"
+)
+
+// Env bundles the platform parameters and the calibrations every driver
+// shares. Calibration runs once per Env (it is static per platform, as
+// in the paper).
+type Env struct {
+	ParagonParams platform.ParagonParams
+	CM2Params     platform.CM2Params
+
+	// Cal is the Sun/Paragon calibration (α/β per direction + delay tables).
+	Cal core.Calibration
+	// CM2Model is the Sun/CM2 dedicated transfer model.
+	CM2Model core.CommModel
+	// Opts records the calibration options used.
+	Opts calibrate.Options
+}
+
+// NewEnv calibrates both platforms and returns the shared environment.
+func NewEnv() (*Env, error) {
+	pparams := platform.DefaultParagonParams(platform.OneHop)
+	opts := calibrate.DefaultOptions(pparams)
+	cal, err := calibrate.Run(opts)
+	if err != nil {
+		return nil, err
+	}
+	cm2Params := platform.DefaultCM2Params()
+	cm2Model, err := calibrate.CalibrateCM2(calibrate.DefaultCM2Options(cm2Params))
+	if err != nil {
+		return nil, err
+	}
+	return &Env{
+		ParagonParams: pparams,
+		CM2Params:     cm2Params,
+		Cal:           cal,
+		CM2Model:      cm2Model,
+		Opts:          opts,
+	}, nil
+}
+
+var (
+	sharedEnv  *Env
+	sharedErr  error
+	sharedOnce sync.Once
+)
+
+// SharedEnv returns a lazily created process-wide Env, so tests and
+// benchmarks pay the calibration cost once.
+func SharedEnv() (*Env, error) {
+	sharedOnce.Do(func() { sharedEnv, sharedErr = NewEnv() })
+	return sharedEnv, sharedErr
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestIOCharacteristicsExtendedModelWins(t *testing.T) {
+	r, err := IOCharacteristics(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := r.Err("extended")
+	naive := r.Err("naive")
+	if ext > 10 {
+		t.Fatalf("extended-model error %.1f%%, want < 10%%", ext)
+	}
+	if naive < ext+20 {
+		t.Fatalf("naive p+1 error %.1f%% should grossly exceed extended %.1f%%", naive, ext)
+	}
+	// The contenders are mostly I/O-bound: actual slowdown well under p+1.
+	ded, _ := r.seriesByName("dedicated")
+	act, _ := r.seriesByName("actual")
+	for i := range ded.Y {
+		ratio := act.Y[i] / ded.Y[i]
+		if ratio < 1.3 || ratio > 2.2 {
+			t.Fatalf("M=%v: slowdown %.2f outside (1.3,2.2) for 2 I/O-bound contenders", ded.X[i], ratio)
+		}
+	}
+}
+
+func TestPhasedContentionBeatsStatic(t *testing.T) {
+	r, err := PhasedContention(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	phased := r.Err("phased")
+	static := r.Err("static")
+	if phased > 10 {
+		t.Fatalf("phased-model error %.1f%%, want < 10%%", phased)
+	}
+	if phased >= static {
+		t.Fatalf("phased error %.1f%% should beat static %.1f%%", phased, static)
+	}
+}
+
+func TestMultiMachineWithinBand(t *testing.T) {
+	r, err := MultiMachine(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Err("split"); got > 15 {
+		t.Fatalf("split-placement error %.1f%%, want ≤ 15%% (the paper's band)", got)
+	}
+	if got := r.Err("same"); got > 20 {
+		t.Fatalf("same-link error %.1f%%, want ≤ 20%%", got)
+	}
+	// Same-link placement must cost at least as much as split at small
+	// message sizes (the target wire is shared there).
+	same, _ := r.seriesByName("actual same")
+	split, _ := r.seriesByName("actual split")
+	if same.Y[0] <= split.Y[0] {
+		t.Fatalf("same-link %.3f not above split %.3f at %v words", same.Y[0], split.Y[0], same.X[0])
+	}
+}
+
+func TestExtensionsAggregator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	results, err := Extensions(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"synthetic", "iochar", "phased", "multimachine", "offload"}
+	if len(results) != len(want) {
+		t.Fatalf("got %d results, want %d", len(results), len(want))
+	}
+	for i, r := range results {
+		if r.ID != want[i] {
+			t.Fatalf("result %d = %q, want %q", i, r.ID, want[i])
+		}
+	}
+}
+
+func TestOffloadDecisionAccuracy(t *testing.T) {
+	r, err := OffloadDecision(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Err("sun"); got > 15 {
+		t.Fatalf("sun-side error %.1f%%, want ≤ 15%%", got)
+	}
+	if got := r.Err("offload"); got > 15 {
+		t.Fatalf("offload-side error %.1f%%, want ≤ 15%%", got)
+	}
+	// Every size must be decided correctly, and both regimes must occur.
+	sun, _ := r.seriesByName("actual sun")
+	off, _ := r.seriesByName("actual offload")
+	sunWins, offWins := 0, 0
+	for i := range sun.Y {
+		if sun.Y[i] < off.Y[i] {
+			sunWins++
+		} else {
+			offWins++
+		}
+	}
+	if sunWins == 0 || offWins == 0 {
+		t.Fatalf("no crossover: sunWins=%d offWins=%d", sunWins, offWins)
+	}
+	found := false
+	for _, n := range r.Notes {
+		if n == "decision accuracy: 8/8 sizes decided correctly" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("decisions not all correct: %v", r.Notes)
+	}
+}

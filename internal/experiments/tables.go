@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+
+	"contention/internal/core"
+	"contention/internal/sched"
+)
+
+// Tables12 reproduces the paper's Tables 1–2: in dedicated mode, both
+// tasks belong on M1 for a 16-unit makespan.
+func Tables12() (Result, error) {
+	p := sched.PaperExample()
+	best, err := p.Best()
+	if err != nil {
+		return Result{}, err
+	}
+	ranked, err := p.Rank()
+	if err != nil {
+		return Result{}, err
+	}
+	r := Result{
+		ID:     "table1-2",
+		Title:  "Dedicated execution and communication times: best allocation",
+		XLabel: "rank",
+		YLabel: "makespan",
+	}
+	var xs, ys []float64
+	for i, cand := range ranked {
+		xs = append(xs, float64(i+1))
+		ys = append(ys, cand.Makespan)
+		r.Notes = append(r.Notes, fmt.Sprintf("rank %d: %s makespan %.0f", i+1, cand.Assignment, cand.Makespan))
+	}
+	r.Series = []Series{{Name: "makespan", X: xs, Y: ys}}
+	r.Notes = append(r.Notes, fmt.Sprintf("best: %s = %.0f (paper: both on M1, 16 units)", best.Assignment, best.Makespan))
+	return r, nil
+}
+
+// Table3 reproduces Table 3: two CPU-bound contenders on M1 slow its
+// computation ×3 (slowdown = p+1), flipping A to M2 for a 38-unit
+// makespan.
+func Table3() (Result, error) {
+	slowdown := core.SimpleSlowdown(2) // p = 2 extra CPU-bound applications
+	p := sched.PaperExample().ScaleExec("M1", slowdown)
+	best, err := p.Best()
+	if err != nil {
+		return Result{}, err
+	}
+	both, err := p.Evaluate(sched.Assignment{"A": "M1", "B": "M1"})
+	if err != nil {
+		return Result{}, err
+	}
+	r := Result{
+		ID:     "table3",
+		Title:  "Non-dedicated execution times (M1 compute slowed ×3)",
+		XLabel: "case",
+		YLabel: "makespan",
+		Series: []Series{{
+			Name: "makespan",
+			X:    []float64{1, 2},
+			Y:    []float64{best.Makespan, both},
+		}},
+	}
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("slowdown factor = p+1 = %.0f", slowdown),
+		fmt.Sprintf("best: %s = %.0f (paper: A→M2, B→M1, 38 units)", best.Assignment, best.Makespan),
+		fmt.Sprintf("both on M1 = %.0f (10 units worse, as the paper notes)", both),
+	)
+	return r, nil
+}
+
+// Table4 reproduces Table 4: when the contenders also load the link,
+// communication slows ×3 too and both tasks stay on M1 (48 units).
+func Table4() (Result, error) {
+	slowdown := core.SimpleSlowdown(2)
+	p := sched.PaperExample().ScaleExec("M1", slowdown).ScaleComm(slowdown)
+	best, err := p.Best()
+	if err != nil {
+		return Result{}, err
+	}
+	split, err := p.Evaluate(sched.Assignment{"A": "M2", "B": "M1"})
+	if err != nil {
+		return Result{}, err
+	}
+	r := Result{
+		ID:     "table4",
+		Title:  "Non-dedicated execution and communication times (both slowed ×3)",
+		XLabel: "case",
+		YLabel: "makespan",
+		Series: []Series{{
+			Name: "makespan",
+			X:    []float64{1, 2},
+			Y:    []float64{best.Makespan, split},
+		}},
+	}
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("best: %s = %.0f (paper: both on M1, 48 units)", best.Assignment, best.Makespan),
+		fmt.Sprintf("offloading A now costs %.0f: slowed communication outweighs the gain", split),
+	)
+	return r, nil
+}

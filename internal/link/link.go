@@ -1,0 +1,233 @@
+// Package link models the private network connecting the front-end to
+// the back-end machine: a half-duplex FCFS wire shared by all
+// applications, with per-message data-format-conversion work charged to
+// the endpoint CPUs.
+//
+// Two properties of the real Sun/Paragon Ethernet that the paper's model
+// depends on are reproduced structurally:
+//
+//   - Packetization: messages are fragmented at the MTU, paying a
+//     per-packet overhead, which makes the dedicated cost a
+//     piecewise-linear function of message size with the knee at the MTU
+//     (the paper's 1024-word threshold).
+//   - CPU coupling: the conversion stage executes on the sending (and
+//     optionally receiving) host CPU, so CPU-bound contenders slow
+//     communication and communicating contenders slow computation —
+//     exactly the cross-terms the slowdown model captures.
+package link
+
+import (
+	"fmt"
+	"math"
+
+	"contention/internal/cpu"
+	"contention/internal/des"
+)
+
+// Message is one transfer across the link.
+type Message struct {
+	Words   int
+	SrcPort string
+	DstPort string
+	Sent    float64 // virtual time Send was called
+	Queued  float64 // virtual time the wire was acquired
+	Arrived float64 // virtual time of delivery to the inbox
+	Payload any
+}
+
+// Config describes the wire characteristics of a link.
+type Config struct {
+	Name string
+	// MTU is the maximum packet payload in words; larger messages are
+	// fragmented. Must be positive.
+	MTU int
+	// PerPacket is the wire overhead per packet in seconds (framing,
+	// protocol acknowledgement, interrupt handling).
+	PerPacket float64
+	// Bandwidth is the raw wire bandwidth in words per second.
+	Bandwidth float64
+}
+
+func (c Config) validate() error {
+	if c.MTU <= 0 {
+		return fmt.Errorf("link %q: MTU %d must be positive", c.Name, c.MTU)
+	}
+	if c.PerPacket < 0 || math.IsNaN(c.PerPacket) {
+		return fmt.Errorf("link %q: invalid per-packet overhead %v", c.Name, c.PerPacket)
+	}
+	if c.Bandwidth <= 0 || math.IsNaN(c.Bandwidth) {
+		return fmt.Errorf("link %q: bandwidth %v must be positive", c.Name, c.Bandwidth)
+	}
+	return nil
+}
+
+// EndpointConfig describes one side of the link.
+type EndpointConfig struct {
+	Name string
+	// Host, when non-nil, is the CPU that pays conversion costs on this
+	// side. A nil host (e.g. the MPP side, where conversion is spread
+	// over many nodes) makes conversion free.
+	Host *cpu.Host
+	// SendStartup/SendPerWord are CPU work units charged on this side
+	// per outgoing message and per outgoing word.
+	SendStartup, SendPerWord float64
+	// RecvStartup/RecvPerWord are CPU work units charged to the
+	// receiving process (in Recv) per incoming message and word — the
+	// data-format conversion performed in the reader's context.
+	RecvStartup, RecvPerWord float64
+	// PreSend, when non-nil, runs in the sender's process before the
+	// wire is acquired — e.g. the NX hop from a Paragon compute node to
+	// the service node in 2-HOPS mode.
+	PreSend func(p *des.Proc, words int)
+	// Forward, when non-nil, intercepts inbound delivery on this
+	// endpoint after receive conversion: it must eventually call
+	// deliver. Used for the service-node → compute-node NX hop.
+	Forward func(words int, deliver func())
+}
+
+// Link is a half-duplex point-to-point wire between two endpoints.
+type Link struct {
+	k    *des.Kernel
+	cfg  Config
+	wire *des.Semaphore
+	a, b *Endpoint
+
+	busyTime   float64
+	messages   int
+	wordsMoved int
+}
+
+// Endpoint is one side of a link; applications send from and receive at
+// named ports so concurrent applications do not steal each other's
+// messages.
+type Endpoint struct {
+	link  *Link
+	cfg   EndpointConfig
+	peer  *Endpoint
+	ports map[string]*des.Mailbox[Message]
+}
+
+// New creates a link between two endpoints.
+func New(k *des.Kernel, cfg Config, aCfg, bCfg EndpointConfig) (*Link, *Endpoint, *Endpoint, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	l := &Link{k: k, cfg: cfg, wire: des.NewSemaphore(k, 1)}
+	l.a = &Endpoint{link: l, cfg: aCfg, ports: map[string]*des.Mailbox[Message]{}}
+	l.b = &Endpoint{link: l, cfg: bCfg, ports: map[string]*des.Mailbox[Message]{}}
+	l.a.peer, l.b.peer = l.b, l.a
+	return l, l.a, l.b, nil
+}
+
+// MustNew is New but panics on config errors; for tests and fixtures.
+func MustNew(k *des.Kernel, cfg Config, aCfg, bCfg EndpointConfig) (*Link, *Endpoint, *Endpoint) {
+	l, a, b, err := New(k, cfg, aCfg, bCfg)
+	if err != nil {
+		panic(err)
+	}
+	return l, a, b
+}
+
+// Config returns the wire configuration.
+func (l *Link) Config() Config { return l.cfg }
+
+// WireTime returns the dedicated-mode wire occupancy for a message of
+// the given size: ceil(words/MTU) packets of overhead plus payload time.
+func (l *Link) WireTime(words int) float64 {
+	if words <= 0 {
+		return l.cfg.PerPacket
+	}
+	packets := (words + l.cfg.MTU - 1) / l.cfg.MTU
+	return float64(packets)*l.cfg.PerPacket + float64(words)/l.cfg.Bandwidth
+}
+
+// BusyTime reports cumulative wire occupancy.
+func (l *Link) BusyTime() float64 { return l.busyTime }
+
+// Messages reports the number of messages fully transmitted.
+func (l *Link) Messages() int { return l.messages }
+
+// WordsMoved reports the total payload words transmitted.
+func (l *Link) WordsMoved() int { return l.wordsMoved }
+
+// Utilization reports wire busy fraction since t=0.
+func (l *Link) Utilization() float64 {
+	if now := l.k.Now(); now > 0 {
+		return l.busyTime / now
+	}
+	return 0
+}
+
+// Name reports the endpoint name.
+func (e *Endpoint) Name() string { return e.cfg.Name }
+
+// Port returns (creating if needed) the inbox for the given port name.
+func (e *Endpoint) Port(name string) *des.Mailbox[Message] {
+	mb, ok := e.ports[name]
+	if !ok {
+		mb = des.NewMailbox[Message](e.link.k, e.cfg.Name+"/"+name)
+		e.ports[name] = mb
+	}
+	return mb
+}
+
+// Send transfers words of payload to dstPort on the peer endpoint,
+// blocking p through local conversion and wire occupancy (receiver-side
+// conversion is pipelined and charged asynchronously). The returned
+// message carries the sender-side timestamps; the receiver's copy also
+// has Arrived set.
+func (e *Endpoint) Send(p *des.Proc, srcPort, dstPort string, words int, payload any) Message {
+	if words < 0 {
+		panic(fmt.Sprintf("link: negative message size %d", words))
+	}
+	l := e.link
+	msg := Message{Words: words, SrcPort: srcPort, DstPort: dstPort, Sent: p.Now(), Payload: payload}
+
+	// 0. Pre-wire hop on the sending side (e.g. NX to the service node).
+	if e.cfg.PreSend != nil {
+		e.cfg.PreSend(p, words)
+	}
+
+	// 1. Outbound data-format conversion on the local CPU (if any).
+	if e.cfg.Host != nil {
+		work := e.cfg.SendStartup + e.cfg.SendPerWord*float64(words)
+		e.cfg.Host.Compute(p, work)
+	}
+
+	// 2. Exclusive wire occupancy, FCFS.
+	l.wire.Acquire(p)
+	msg.Queued = p.Now()
+	wt := l.WireTime(words)
+	p.Delay(wt)
+	l.busyTime += wt
+	l.messages++
+	l.wordsMoved += words
+	l.wire.Release()
+
+	// 3. Delivery to the peer's inbox (through the Forward hook when the
+	// service node relays it). Receive-side conversion is charged in
+	// Recv, in the receiving process's context.
+	peer := e.peer
+	deliver := func() {
+		msg.Arrived = l.k.Now()
+		peer.Port(dstPort).Send(msg)
+	}
+	if fwd := peer.cfg.Forward; fwd != nil {
+		inner := deliver
+		deliver = func() { fwd(words, inner) }
+	}
+	deliver()
+	return msg
+}
+
+// Recv blocks p until a message arrives at the given local port, then
+// charges the receive-side data-format conversion to this endpoint's
+// CPU in the caller's context (as a Unix read of an XDR stream does).
+func (e *Endpoint) Recv(p *des.Proc, port string) Message {
+	msg := e.Port(port).Recv(p)
+	if e.cfg.Host != nil {
+		work := e.cfg.RecvStartup + e.cfg.RecvPerWord*float64(msg.Words)
+		e.cfg.Host.Compute(p, work)
+	}
+	return msg
+}

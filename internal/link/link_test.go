@@ -1,0 +1,255 @@
+package link
+
+import (
+	"math"
+	"testing"
+
+	"contention/internal/cpu"
+	"contention/internal/des"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func basicCfg() Config {
+	return Config{Name: "ether", MTU: 1024, PerPacket: 0.001, Bandwidth: 1e6}
+}
+
+func TestWireTimePiecewise(t *testing.T) {
+	k := des.New()
+	l, _, _ := MustNew(k, basicCfg(), EndpointConfig{Name: "a"}, EndpointConfig{Name: "b"})
+	// One packet for sizes ≤ 1024.
+	if got, want := l.WireTime(512), 0.001+512/1e6; !approx(got, want, 1e-12) {
+		t.Fatalf("WireTime(512) = %v, want %v", got, want)
+	}
+	if got, want := l.WireTime(1024), 0.001+1024/1e6; !approx(got, want, 1e-12) {
+		t.Fatalf("WireTime(1024) = %v, want %v", got, want)
+	}
+	// Two packets just past the MTU: the knee.
+	if got, want := l.WireTime(1025), 0.002+1025/1e6; !approx(got, want, 1e-12) {
+		t.Fatalf("WireTime(1025) = %v, want %v", got, want)
+	}
+	if got, want := l.WireTime(4096), 0.004+4096/1e6; !approx(got, want, 1e-12) {
+		t.Fatalf("WireTime(4096) = %v, want %v", got, want)
+	}
+	// Zero-size message still costs one packet.
+	if got := l.WireTime(0); !approx(got, 0.001, 1e-12) {
+		t.Fatalf("WireTime(0) = %v, want 0.001", got)
+	}
+}
+
+func TestSendDeliversToNamedPort(t *testing.T) {
+	k := des.New()
+	_, a, b := MustNew(k, basicCfg(), EndpointConfig{Name: "sun"}, EndpointConfig{Name: "mpp"})
+	var got Message
+	k.Spawn("recv", func(p *des.Proc) { got = b.Recv(p, "app1") })
+	k.Spawn("send", func(p *des.Proc) { a.Send(p, "app1", "app1", 100, "hello") })
+	k.Run()
+	if got.Payload != "hello" || got.Words != 100 {
+		t.Fatalf("received %+v", got)
+	}
+	if got.Arrived <= 0 {
+		t.Fatalf("Arrived not set: %+v", got)
+	}
+}
+
+func TestPortsIsolateApplications(t *testing.T) {
+	k := des.New()
+	_, a, b := MustNew(k, basicCfg(), EndpointConfig{Name: "sun"}, EndpointConfig{Name: "mpp"})
+	var got1, got2 Message
+	k.Spawn("r1", func(p *des.Proc) { got1 = b.Recv(p, "app1") })
+	k.Spawn("r2", func(p *des.Proc) { got2 = b.Recv(p, "app2") })
+	k.Spawn("s", func(p *des.Proc) {
+		a.Send(p, "app2", "app2", 1, "two")
+		a.Send(p, "app1", "app1", 1, "one")
+	})
+	k.Run()
+	if got1.Payload != "one" || got2.Payload != "two" {
+		t.Fatalf("port crosstalk: app1 got %v, app2 got %v", got1.Payload, got2.Payload)
+	}
+}
+
+func TestWireIsFCFSAndExclusive(t *testing.T) {
+	// Two senders race; second sender's message waits for the wire.
+	cfg := Config{Name: "ether", MTU: 1024, PerPacket: 0, Bandwidth: 100} // 100 words/s
+	k := des.New()
+	_, a, b := MustNew(k, cfg, EndpointConfig{Name: "sun"}, EndpointConfig{Name: "mpp"})
+	var arr1, arr2 float64
+	k.Spawn("r", func(p *des.Proc) {
+		m1 := b.Recv(p, "x")
+		m2 := b.Recv(p, "x")
+		arr1, arr2 = m1.Arrived, m2.Arrived
+	})
+	k.Spawn("s1", func(p *des.Proc) { a.Send(p, "x", "x", 100, 1) }) // 1s wire
+	k.Spawn("s2", func(p *des.Proc) { a.Send(p, "x", "x", 100, 2) }) // queued behind s1
+	k.Run()
+	if !approx(arr1, 1, 1e-9) || !approx(arr2, 2, 1e-9) {
+		t.Fatalf("arrivals %v/%v, want 1/2 (FCFS serialization)", arr1, arr2)
+	}
+}
+
+func TestConversionChargedToHostCPU(t *testing.T) {
+	// Send conversion is CPU work; a CPU hog on the host slows it 2×.
+	k := des.New()
+	host := cpu.NewHost(k, "sun", 1)
+	cfg := Config{Name: "ether", MTU: 1024, PerPacket: 0, Bandwidth: 1e9}
+	_, a, _ := MustNew(k, cfg,
+		EndpointConfig{Name: "sun", Host: host, SendStartup: 1.0},
+		EndpointConfig{Name: "mpp"})
+	var done float64
+	k.Spawn("hog", func(p *des.Proc) { host.Compute(p, 1e9) })
+	k.Spawn("s", func(p *des.Proc) {
+		a.Send(p, "x", "x", 1, nil)
+		done = p.Now()
+	})
+	k.RunUntil(10)
+	// Conversion work 1.0 shared with the hog → 2 seconds.
+	if !approx(done, 2, 1e-6) {
+		t.Fatalf("send completed at %v, want 2 (CPU-contended conversion)", done)
+	}
+}
+
+func TestReceiveConversionChargedToReceiver(t *testing.T) {
+	k := des.New()
+	hostB := cpu.NewHost(k, "sunB", 1)
+	cfg := Config{Name: "ether", MTU: 1024, PerPacket: 0, Bandwidth: 1e9}
+	_, a, b := MustNew(k, cfg,
+		EndpointConfig{Name: "src"},
+		EndpointConfig{Name: "dst", Host: hostB, RecvStartup: 3.0})
+	var sendDone, recvDone, arrived float64
+	k.Spawn("r", func(p *des.Proc) {
+		m := b.Recv(p, "x")
+		arrived = m.Arrived
+		recvDone = p.Now()
+	})
+	k.Spawn("s", func(p *des.Proc) {
+		a.Send(p, "x", "x", 1, nil)
+		sendDone = p.Now()
+	})
+	k.Run()
+	if sendDone >= 1 {
+		t.Fatalf("sender blocked %v seconds; it must not wait for receive conversion", sendDone)
+	}
+	if arrived >= 1 {
+		t.Fatalf("inbox delivery at %v; should happen at wire completion", arrived)
+	}
+	// The receiving process pays the 3s conversion in its own context.
+	if !approx(recvDone, 3, 1e-6) {
+		t.Fatalf("Recv returned at %v, want 3 (receiver-side conversion)", recvDone)
+	}
+}
+
+func TestLinkAccounting(t *testing.T) {
+	cfg := Config{Name: "ether", MTU: 100, PerPacket: 0.5, Bandwidth: 100}
+	k := des.New()
+	l, a, b := MustNew(k, cfg, EndpointConfig{Name: "a"}, EndpointConfig{Name: "b"})
+	k.Spawn("r", func(p *des.Proc) { b.Recv(p, "x"); b.Recv(p, "x") })
+	k.Spawn("s", func(p *des.Proc) {
+		a.Send(p, "x", "x", 100, nil) // 0.5 + 1 = 1.5s
+		a.Send(p, "x", "x", 150, nil) // 1.0 + 1.5 = 2.5s
+	})
+	k.Run()
+	if l.Messages() != 2 {
+		t.Fatalf("Messages = %d, want 2", l.Messages())
+	}
+	if l.WordsMoved() != 250 {
+		t.Fatalf("WordsMoved = %d, want 250", l.WordsMoved())
+	}
+	if got := l.BusyTime(); !approx(got, 4, 1e-9) {
+		t.Fatalf("BusyTime = %v, want 4", got)
+	}
+	if got := l.Utilization(); !approx(got, 1, 1e-9) {
+		t.Fatalf("Utilization = %v, want 1", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	k := des.New()
+	bad := []Config{
+		{Name: "m0", MTU: 0, PerPacket: 0, Bandwidth: 1},
+		{Name: "bw", MTU: 1, PerPacket: 0, Bandwidth: 0},
+		{Name: "pp", MTU: 1, PerPacket: -1, Bandwidth: 1},
+		{Name: "nan", MTU: 1, PerPacket: 0, Bandwidth: math.NaN()},
+	}
+	for _, cfg := range bad {
+		if _, _, _, err := New(k, cfg, EndpointConfig{}, EndpointConfig{}); err == nil {
+			t.Errorf("config %+v did not error", cfg)
+		}
+	}
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	k := des.New()
+	_, a, _ := MustNew(k, basicCfg(), EndpointConfig{Name: "a"}, EndpointConfig{Name: "b"})
+	k.Spawn("s", func(p *des.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative size did not panic")
+			}
+		}()
+		a.Send(p, "x", "x", -1, nil)
+	})
+	k.Run()
+}
+
+func TestBidirectionalSharingHalfDuplex(t *testing.T) {
+	// Transfers in opposite directions contend for the same wire.
+	cfg := Config{Name: "ether", MTU: 1024, PerPacket: 0, Bandwidth: 100}
+	k := des.New()
+	_, a, b := MustNew(k, cfg, EndpointConfig{Name: "a"}, EndpointConfig{Name: "b"})
+	var doneA, doneB float64
+	k.Spawn("ra", func(p *des.Proc) { a.Recv(p, "x") })
+	k.Spawn("rb", func(p *des.Proc) { b.Recv(p, "x") })
+	k.Spawn("sa", func(p *des.Proc) {
+		a.Send(p, "x", "x", 100, nil)
+		doneA = p.Now()
+	})
+	k.Spawn("sb", func(p *des.Proc) {
+		b.Send(p, "x", "x", 100, nil)
+		doneB = p.Now()
+	})
+	k.Run()
+	// One of them must wait for the other: completions at 1s and 2s.
+	lo, hi := math.Min(doneA, doneB), math.Max(doneA, doneB)
+	if !approx(lo, 1, 1e-9) || !approx(hi, 2, 1e-9) {
+		t.Fatalf("completions %v/%v, want 1 and 2", doneA, doneB)
+	}
+}
+
+func TestPreSendHookRunsBeforeWire(t *testing.T) {
+	cfg := Config{Name: "ether", MTU: 1024, PerPacket: 0, Bandwidth: 100}
+	k := des.New()
+	var hookAt float64
+	_, a, b := MustNew(k, cfg,
+		EndpointConfig{Name: "src", PreSend: func(p *des.Proc, words int) {
+			p.Delay(0.5)
+			hookAt = p.Now()
+		}},
+		EndpointConfig{Name: "dst"})
+	var arrived float64
+	k.Spawn("r", func(p *des.Proc) { arrived = b.Recv(p, "x").Arrived })
+	k.Spawn("s", func(p *des.Proc) { a.Send(p, "x", "x", 100, nil) })
+	k.Run()
+	if !approx(hookAt, 0.5, 1e-9) {
+		t.Fatalf("hook ran at %v, want 0.5", hookAt)
+	}
+	if !approx(arrived, 1.5, 1e-9) {
+		t.Fatalf("arrival at %v, want 1.5 (hook + wire)", arrived)
+	}
+}
+
+func TestForwardHookDelaysDelivery(t *testing.T) {
+	cfg := Config{Name: "ether", MTU: 1024, PerPacket: 0, Bandwidth: 100}
+	k := des.New()
+	_, a, b := MustNew(k, cfg,
+		EndpointConfig{Name: "src"},
+		EndpointConfig{Name: "dst", Forward: func(words int, deliver func()) {
+			k.After(2, deliver) // e.g. an NX hop
+		}})
+	var arrived float64
+	k.Spawn("r", func(p *des.Proc) { arrived = b.Recv(p, "x").Arrived })
+	k.Spawn("s", func(p *des.Proc) { a.Send(p, "x", "x", 100, nil) })
+	k.Run()
+	if !approx(arrived, 3, 1e-9) {
+		t.Fatalf("arrival at %v, want 3 (wire 1 + forward 2)", arrived)
+	}
+}

@@ -1,0 +1,302 @@
+package rm
+
+import (
+	"math"
+	"testing"
+
+	"contention/internal/core"
+	"contention/internal/cpu"
+	"contention/internal/des"
+	"contention/internal/mesh"
+)
+
+func testTables() core.DelayTables {
+	return core.DelayTables{
+		CompOnComm: []float64{0.4, 0.8, 1.2},
+		CommOnComm: []float64{0.3, 0.6, 0.9},
+		CommOnComp: map[int][]float64{500: {0.5, 1.0, 1.5}},
+	}
+}
+
+func newManager(t *testing.T, k *des.Kernel, backfill bool) (*Manager, *mesh.Machine) {
+	t.Helper()
+	mpp := mesh.MustNew(k, mesh.Config{Name: "p", Nodes: 16, NodeSpeed: 1, NXBeta: 1e6})
+	m, err := New(k, Config{Tables: testTables(), MPP: mpp, Backfill: backfill})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, mpp
+}
+
+func TestDescriptorValidation(t *testing.T) {
+	bad := []AppDescriptor{
+		{Name: ""},
+		{Name: "a", Contender: core.Contender{CommFraction: 2}},
+		{Name: "a", WorkingSetPages: -1},
+		{Name: "a", Nodes: -1},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestHostOnlyAdmissionIsImmediate(t *testing.T) {
+	k := des.New()
+	m, _ := newManager(t, k, false)
+	k.Spawn("a", func(p *des.Proc) {
+		r, err := m.Submit(p, AppDescriptor{Name: "app", Contender: core.Contender{CommFraction: 0.3, MsgWords: 500}})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if p.Now() != 0 {
+			t.Errorf("admitted at %v, want 0", p.Now())
+		}
+		if m.Running() != 1 {
+			t.Errorf("Running = %d", m.Running())
+		}
+		if err := r.Release(); err != nil {
+			t.Error(err)
+		}
+		if err := r.Release(); err != nil { // idempotent
+			t.Error(err)
+		}
+	})
+	k.Run()
+	if m.Running() != 0 || m.Admitted() != 1 {
+		t.Fatalf("final state running=%d admitted=%d", m.Running(), m.Admitted())
+	}
+}
+
+func TestDuplicateNameRejected(t *testing.T) {
+	k := des.New()
+	m, _ := newManager(t, k, false)
+	k.Spawn("a", func(p *des.Proc) {
+		if _, err := m.Submit(p, AppDescriptor{Name: "x"}); err != nil {
+			t.Error(err)
+		}
+		if _, err := m.Submit(p, AppDescriptor{Name: "x"}); err == nil {
+			t.Error("duplicate accepted")
+		}
+	})
+	k.Run()
+}
+
+func TestPartitionQueueingFCFS(t *testing.T) {
+	k := des.New()
+	m, mpp := newManager(t, k, false)
+	var admitTimes []float64
+	// First app takes 12 of 16 nodes for 5 seconds.
+	k.Spawn("big", func(p *des.Proc) {
+		r, err := m.Submit(p, AppDescriptor{Name: "big", Nodes: 12})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Delay(5)
+		_ = r.Release()
+	})
+	// Second app (8 nodes, does not fit) must wait for the release;
+	// third (2 nodes, would fit) must queue behind it without backfill.
+	k.Spawn("second", func(p *des.Proc) {
+		p.Delay(0.1)
+		r, err := m.Submit(p, AppDescriptor{Name: "second", Nodes: 8})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		admitTimes = append(admitTimes, p.Now())
+		p.Delay(1)
+		_ = r.Release()
+	})
+	k.Spawn("third", func(p *des.Proc) {
+		p.Delay(0.2)
+		r, err := m.Submit(p, AppDescriptor{Name: "third", Nodes: 2})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		admitTimes = append(admitTimes, p.Now())
+		_ = r.Release()
+	})
+	k.Run()
+	if len(admitTimes) != 2 {
+		t.Fatalf("admissions: %v", admitTimes)
+	}
+	if math.Abs(admitTimes[0]-5) > 1e-9 {
+		t.Fatalf("second admitted at %v, want 5 (waits for big)", admitTimes[0])
+	}
+	if admitTimes[1] < admitTimes[0]-1e-9 {
+		t.Fatalf("third admitted at %v before second %v (FCFS violated)", admitTimes[1], admitTimes[0])
+	}
+	if m.TotalWait() <= 0 || m.MaxQueueLen() < 2 {
+		t.Fatalf("wait accounting %v / %d", m.TotalWait(), m.MaxQueueLen())
+	}
+	if mpp.InUse() != 0 {
+		t.Fatalf("nodes leaked: %d in use", mpp.InUse())
+	}
+}
+
+func TestBackfillAdmitsSmallJobEarly(t *testing.T) {
+	k := des.New()
+	m, _ := newManager(t, k, true)
+	var thirdAt float64
+	k.Spawn("big", func(p *des.Proc) {
+		r, _ := m.Submit(p, AppDescriptor{Name: "big", Nodes: 12})
+		p.Delay(5)
+		_ = r.Release()
+	})
+	k.Spawn("second", func(p *des.Proc) {
+		p.Delay(0.1)
+		r, err := m.Submit(p, AppDescriptor{Name: "second", Nodes: 8})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Delay(1)
+		_ = r.Release()
+	})
+	k.Spawn("third", func(p *des.Proc) {
+		p.Delay(0.2)
+		r, err := m.Submit(p, AppDescriptor{Name: "third", Nodes: 2})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		thirdAt = p.Now()
+		_ = r.Release()
+	})
+	k.Run()
+	// With backfill the 2-node job runs immediately (4 nodes free).
+	if math.Abs(thirdAt-0.2) > 1e-9 {
+		t.Fatalf("third admitted at %v, want 0.2 (backfill)", thirdAt)
+	}
+}
+
+func TestOversizeRequestRejected(t *testing.T) {
+	k := des.New()
+	m, _ := newManager(t, k, false)
+	k.Spawn("a", func(p *des.Proc) {
+		if _, err := m.Submit(p, AppDescriptor{Name: "huge", Nodes: 17}); err == nil {
+			t.Error("17-node request on a 16-node machine accepted")
+		}
+	})
+	k.Run()
+}
+
+func TestNodesWithoutMPPRejected(t *testing.T) {
+	k := des.New()
+	m, err := New(k, Config{Tables: testTables()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Spawn("a", func(p *des.Proc) {
+		if _, err := m.Submit(p, AppDescriptor{Name: "x", Nodes: 2}); err == nil {
+			t.Error("node request without MPP accepted")
+		}
+	})
+	k.Run()
+}
+
+func TestContenderRegistryTracksAdmissions(t *testing.T) {
+	k := des.New()
+	m, _ := newManager(t, k, false)
+	k.Spawn("a", func(p *des.Proc) {
+		r1, err := m.Submit(p, AppDescriptor{Name: "one", Contender: core.Contender{CommFraction: 0.2, MsgWords: 500}})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		r2, err := m.Submit(p, AppDescriptor{Name: "two", Contender: core.Contender{CommFraction: 0.7, MsgWords: 500}})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// The view excluding "one" holds only "two".
+		cs := m.Contenders("one")
+		if len(cs) != 1 || cs[0].CommFraction != 0.7 {
+			t.Errorf("Contenders(one) = %v", cs)
+		}
+		// Manager-wide slowdown matches the batch formula.
+		all := []core.Contender{r1.Descriptor().Contender, r2.Descriptor().Contender}
+		want, err := core.CommSlowdown(all, testTables())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if got := m.CommSlowdownAll(); math.Abs(got-want) > 1e-12 {
+			t.Errorf("CommSlowdownAll = %v, want %v", got, want)
+		}
+		if _, err := m.CompSlowdownAll(); err != nil {
+			t.Error(err)
+		}
+		// Release the FIRST one: index bookkeeping must survive.
+		if err := r1.Release(); err != nil {
+			t.Error(err)
+		}
+		want2, err := core.CommSlowdown(m.Contenders(""), testTables())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if got := m.CommSlowdownAll(); math.Abs(got-want2) > 1e-12 {
+			t.Errorf("after release: %v, want %v", got, want2)
+		}
+		if err := r2.Release(); err != nil {
+			t.Error(err)
+		}
+	})
+	k.Run()
+	if m.CommSlowdownAll() != 1 {
+		t.Fatalf("empty manager slowdown %v", m.CommSlowdownAll())
+	}
+}
+
+func TestWorkingSetIntegration(t *testing.T) {
+	k := des.New()
+	host := cpu.NewHost(k, "sun", 1)
+	if err := host.ConfigureMemory(cpu.MemoryConfig{Pages: 1000, Thrash: 2}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(k, Config{Tables: testTables(), Host: host})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Spawn("a", func(p *des.Proc) {
+		r1, err := m.Submit(p, AppDescriptor{Name: "one", WorkingSetPages: 800})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		r2, err := m.Submit(p, AppDescriptor{Name: "two", WorkingSetPages: 700})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if host.ResidentPages() != 1500 {
+			t.Errorf("resident %d, want 1500", host.ResidentPages())
+		}
+		if host.PagingFactor() <= 1 {
+			t.Errorf("paging factor %v, want > 1 (oversubscribed)", host.PagingFactor())
+		}
+		ws := m.WorkingSets("one")
+		if len(ws) != 1 || ws[0] != 700 {
+			t.Errorf("WorkingSets(one) = %v", ws)
+		}
+		_ = r1.Release()
+		_ = r2.Release()
+		if host.ResidentPages() != 0 {
+			t.Errorf("pages leaked: %d", host.ResidentPages())
+		}
+	})
+	k.Run()
+}
+
+func TestNewRejectsBadTables(t *testing.T) {
+	k := des.New()
+	if _, err := New(k, Config{Tables: core.DelayTables{CompOnComm: []float64{-1}}}); err == nil {
+		t.Fatal("invalid tables accepted")
+	}
+}

@@ -1,0 +1,111 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// JSON interchange format for allocation problems, used by cmd/schedule
+// and any external tool that wants to feed cost tables in:
+//
+//	{
+//	  "tasks": ["A", "B"],
+//	  "machines": ["M1", "M2"],
+//	  "exec": {"A": {"M1": 12, "M2": 18}, "B": {"M1": 4, "M2": 30}},
+//	  "edges": [{"from": "A", "to": "B",
+//	             "cost": {"M1>M2": 7, "M2>M1": 8}}]
+//	}
+//
+// Route keys are "FROM>TO" machine pairs.
+
+type jsonEdge struct {
+	From string             `json:"from"`
+	To   string             `json:"to"`
+	Cost map[string]float64 `json:"cost"`
+}
+
+type jsonProblem struct {
+	Tasks    []string                      `json:"tasks"`
+	Machines []string                      `json:"machines"`
+	Exec     map[string]map[string]float64 `json:"exec"`
+	Edges    []jsonEdge                    `json:"edges"`
+}
+
+// ParseJSON reads a problem from JSON and validates it.
+func ParseJSON(r io.Reader) (Problem, error) {
+	var jp jsonProblem
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jp); err != nil {
+		return Problem{}, fmt.Errorf("sched: decoding problem: %w", err)
+	}
+	p := Problem{Exec: map[Task]map[Machine]float64{}}
+	for _, t := range jp.Tasks {
+		p.Tasks = append(p.Tasks, Task(t))
+	}
+	for _, m := range jp.Machines {
+		p.Machines = append(p.Machines, Machine(m))
+	}
+	for t, row := range jp.Exec {
+		mrow := map[Machine]float64{}
+		for m, c := range row {
+			mrow[Machine(m)] = c
+		}
+		p.Exec[Task(t)] = mrow
+	}
+	for _, e := range jp.Edges {
+		cost := map[Route]float64{}
+		for key, c := range e.Cost {
+			parts := strings.SplitN(key, ">", 2)
+			if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+				return Problem{}, fmt.Errorf("sched: bad route key %q (want \"M1>M2\")", key)
+			}
+			cost[Route{From: Machine(parts[0]), To: Machine(parts[1])}] = c
+		}
+		p.Edges = append(p.Edges, Edge{From: Task(e.From), To: Task(e.To), Cost: cost})
+	}
+	if err := p.Validate(); err != nil {
+		return Problem{}, err
+	}
+	return p, nil
+}
+
+// MarshalJSON renders the problem in the interchange format (the
+// inverse of ParseJSON), with deterministic key order courtesy of
+// encoding/json's map sorting.
+func (p Problem) MarshalJSON() ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	jp := jsonProblem{Exec: map[string]map[string]float64{}}
+	for _, t := range p.Tasks {
+		jp.Tasks = append(jp.Tasks, string(t))
+	}
+	for _, m := range p.Machines {
+		jp.Machines = append(jp.Machines, string(m))
+	}
+	for t, row := range p.Exec {
+		srow := map[string]float64{}
+		for m, c := range row {
+			srow[string(m)] = c
+		}
+		jp.Exec[string(t)] = srow
+	}
+	for _, e := range p.Edges {
+		cost := map[string]float64{}
+		for r, c := range e.Cost {
+			cost[string(r.From)+">"+string(r.To)] = c
+		}
+		jp.Edges = append(jp.Edges, jsonEdge{From: string(e.From), To: string(e.To), Cost: cost})
+	}
+	sort.Slice(jp.Edges, func(i, j int) bool {
+		if jp.Edges[i].From != jp.Edges[j].From {
+			return jp.Edges[i].From < jp.Edges[j].From
+		}
+		return jp.Edges[i].To < jp.Edges[j].To
+	})
+	return json.Marshal(jp)
+}

@@ -1,0 +1,76 @@
+package sched
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const paperJSON = `{
+  "tasks": ["A", "B"],
+  "machines": ["M1", "M2"],
+  "exec": {"A": {"M1": 12, "M2": 18}, "B": {"M1": 4, "M2": 30}},
+  "edges": [{"from": "A", "to": "B",
+             "cost": {"M1>M2": 7, "M2>M1": 8}}]
+}`
+
+func TestParseJSONPaperExample(t *testing.T) {
+	p, err := ParseJSON(strings.NewReader(paperJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := p.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Makespan != 16 {
+		t.Fatalf("makespan %v, want 16", best.Makespan)
+	}
+}
+
+func TestParseJSONErrors(t *testing.T) {
+	cases := []string{
+		`{`, // truncated
+		`{"tasks": ["A"], "machines": ["M"], "exec": {"A": {"M": 1}}, "bogus": 1}`,                                                     // unknown field
+		`{"tasks": ["A"], "machines": ["M"], "exec": {}}`,                                                                              // missing costs
+		`{"tasks": ["A","B"], "machines": ["M"], "exec": {"A":{"M":1},"B":{"M":1}}, "edges":[{"from":"A","to":"B","cost":{"bad":1}}]}`, // bad route key
+		`{"tasks": ["A","B"], "machines": ["M"], "exec": {"A":{"M":1},"B":{"M":1}}, "edges":[{"from":"A","to":"B","cost":{">M":1}}]}`,  // empty machine
+		`{"tasks": ["A"], "machines": ["M"], "exec": {"A": {"M": -1}}}`,                                                                // invalid cost
+	}
+	for i, src := range cases {
+		if _, err := ParseJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := PaperExample()
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseJSON(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("round trip parse: %v\njson: %s", err, data)
+	}
+	b1, err := p.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := back.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Makespan != b2.Makespan || b1.Assignment.String() != b2.Assignment.String() {
+		t.Fatalf("round trip changed the problem: %v vs %v", b1, b2)
+	}
+}
+
+func TestMarshalJSONValidates(t *testing.T) {
+	var empty Problem
+	if _, err := json.Marshal(empty); err == nil {
+		t.Fatal("marshaling an invalid problem did not error")
+	}
+}

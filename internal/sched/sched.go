@@ -1,0 +1,272 @@
+// Package sched implements the allocation layer the contention model
+// feeds: given dedicated execution and communication cost tables for a
+// chain of coarse-grained tasks on a two-machine (or n-machine)
+// heterogeneous platform, it enumerates assignments and ranks them by
+// predicted makespan. Slowdown factors from package core adjust the
+// dedicated costs for load, reproducing the paper's §1 example
+// (Tables 1–4), where contention flips the optimal allocation.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Task names one coarse-grained application task.
+type Task string
+
+// Machine names one machine of the platform.
+type Machine string
+
+// Route identifies a directed machine pair for communication costs.
+type Route struct {
+	From, To Machine
+}
+
+// Edge is a data dependency between consecutive tasks: if its endpoints
+// are placed on different machines, the transfer cost for the machine
+// pair applies (same-machine transfers are free).
+type Edge struct {
+	From, To Task
+	Cost     map[Route]float64
+}
+
+// Problem is a chain-structured allocation problem: tasks execute in
+// the order given (the paper's applications are "a few coarse-grained
+// tasks" in a pipeline), and consecutive tasks may exchange data.
+type Problem struct {
+	Tasks    []Task
+	Machines []Machine
+	// Exec[t][m] is the dedicated execution time of t on m.
+	Exec map[Task]map[Machine]float64
+	// Edges lists inter-task transfers (usually len(Tasks)-1 of them).
+	Edges []Edge
+}
+
+// Validate checks the problem for completeness.
+func (p Problem) Validate() error {
+	if len(p.Tasks) == 0 {
+		return errors.New("sched: no tasks")
+	}
+	if len(p.Machines) == 0 {
+		return errors.New("sched: no machines")
+	}
+	seen := map[Task]bool{}
+	for _, t := range p.Tasks {
+		if seen[t] {
+			return fmt.Errorf("sched: duplicate task %q", t)
+		}
+		seen[t] = true
+		row, ok := p.Exec[t]
+		if !ok {
+			return fmt.Errorf("sched: no execution costs for task %q", t)
+		}
+		for _, m := range p.Machines {
+			c, ok := row[m]
+			if !ok {
+				return fmt.Errorf("sched: no cost for task %q on machine %q", t, m)
+			}
+			if c < 0 || math.IsNaN(c) {
+				return fmt.Errorf("sched: invalid cost %v for task %q on %q", c, t, m)
+			}
+		}
+	}
+	for _, e := range p.Edges {
+		if !seen[e.From] || !seen[e.To] {
+			return fmt.Errorf("sched: edge %q→%q references unknown task", e.From, e.To)
+		}
+		for r, c := range e.Cost {
+			if c < 0 || math.IsNaN(c) {
+				return fmt.Errorf("sched: invalid transfer cost %v on %v→%v", c, r.From, r.To)
+			}
+		}
+	}
+	return nil
+}
+
+// Assignment maps each task to a machine.
+type Assignment map[Task]Machine
+
+// String renders an assignment deterministically.
+func (a Assignment) String() string {
+	tasks := make([]string, 0, len(a))
+	for t := range a {
+		tasks = append(tasks, string(t))
+	}
+	sort.Strings(tasks)
+	out := ""
+	for i, t := range tasks {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s→%s", t, a[Task(t)])
+	}
+	return out
+}
+
+// Evaluate returns the makespan of the assignment: the chain executes
+// sequentially, paying each task's execution cost on its machine plus
+// the transfer cost of every edge whose endpoints differ.
+func (p Problem) Evaluate(a Assignment) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, t := range p.Tasks {
+		m, ok := a[t]
+		if !ok {
+			return 0, fmt.Errorf("sched: task %q unassigned", t)
+		}
+		c, ok := p.Exec[t][m]
+		if !ok {
+			return 0, fmt.Errorf("sched: task %q assigned to unknown machine %q", t, m)
+		}
+		total += c
+	}
+	for _, e := range p.Edges {
+		mf, mt := a[e.From], a[e.To]
+		if mf == mt {
+			continue
+		}
+		c, ok := e.Cost[Route{From: mf, To: mt}]
+		if !ok {
+			return 0, fmt.Errorf("sched: no transfer cost %q(%s)→%q(%s)", e.From, mf, e.To, mt)
+		}
+		total += c
+	}
+	return total, nil
+}
+
+// Ranked is one candidate allocation with its predicted makespan.
+type Ranked struct {
+	Assignment Assignment
+	Makespan   float64
+}
+
+// Rank enumerates every assignment and returns them sorted by makespan
+// (ties broken by assignment string for determinism).
+func (p Problem) Rank() ([]Ranked, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.Tasks)
+	m := len(p.Machines)
+	count := 1
+	for i := 0; i < n; i++ {
+		count *= m
+		if count > 1<<20 {
+			return nil, fmt.Errorf("sched: %d tasks × %d machines too large to enumerate", n, m)
+		}
+	}
+	out := make([]Ranked, 0, count)
+	idx := make([]int, n)
+	for {
+		a := make(Assignment, n)
+		for i, t := range p.Tasks {
+			a[t] = p.Machines[idx[i]]
+		}
+		ms, err := p.Evaluate(a)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Ranked{Assignment: a, Makespan: ms})
+		// Advance the mixed-radix counter.
+		i := n - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < m {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Makespan != out[j].Makespan {
+			return out[i].Makespan < out[j].Makespan
+		}
+		return out[i].Assignment.String() < out[j].Assignment.String()
+	})
+	return out, nil
+}
+
+// Best returns the minimum-makespan assignment.
+func (p Problem) Best() (Ranked, error) {
+	ranked, err := p.Rank()
+	if err != nil {
+		return Ranked{}, err
+	}
+	return ranked[0], nil
+}
+
+// ScaleExec returns a copy of the problem with every execution cost on
+// machine m multiplied by factor — the effect of computation slowdown
+// on a loaded machine.
+func (p Problem) ScaleExec(m Machine, factor float64) Problem {
+	out := p.clone()
+	for t := range out.Exec {
+		if c, ok := out.Exec[t][m]; ok {
+			out.Exec[t][m] = c * factor
+		}
+	}
+	return out
+}
+
+// ScaleComm returns a copy with every transfer cost multiplied by
+// factor — the effect of communication slowdown on the shared link.
+func (p Problem) ScaleComm(factor float64) Problem {
+	out := p.clone()
+	for i := range out.Edges {
+		for r, c := range out.Edges[i].Cost {
+			out.Edges[i].Cost[r] = c * factor
+		}
+	}
+	return out
+}
+
+func (p Problem) clone() Problem {
+	out := Problem{
+		Tasks:    append([]Task(nil), p.Tasks...),
+		Machines: append([]Machine(nil), p.Machines...),
+		Exec:     make(map[Task]map[Machine]float64, len(p.Exec)),
+	}
+	for t, row := range p.Exec {
+		cp := make(map[Machine]float64, len(row))
+		for m, c := range row {
+			cp[m] = c
+		}
+		out.Exec[t] = cp
+	}
+	for _, e := range p.Edges {
+		cp := make(map[Route]float64, len(e.Cost))
+		for r, c := range e.Cost {
+			cp[r] = c
+		}
+		out.Edges = append(out.Edges, Edge{From: e.From, To: e.To, Cost: cp})
+	}
+	return out
+}
+
+// PaperExample returns the paper's §1 problem (Tables 1 and 2): tasks A
+// and B on machines M1 and M2.
+func PaperExample() Problem {
+	return Problem{
+		Tasks:    []Task{"A", "B"},
+		Machines: []Machine{"M1", "M2"},
+		Exec: map[Task]map[Machine]float64{
+			"A": {"M1": 12, "M2": 18},
+			"B": {"M1": 4, "M2": 30},
+		},
+		Edges: []Edge{{
+			From: "A", To: "B",
+			Cost: map[Route]float64{
+				{From: "M1", To: "M2"}: 7,
+				{From: "M2", To: "M1"}: 8,
+			},
+		}},
+	}
+}

@@ -1,0 +1,341 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperTable12DedicatedBestIsBothOnM1(t *testing.T) {
+	p := PaperExample()
+	best, err := p.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Makespan != 16 {
+		t.Fatalf("dedicated makespan %v, want 16", best.Makespan)
+	}
+	if best.Assignment["A"] != "M1" || best.Assignment["B"] != "M1" {
+		t.Fatalf("dedicated allocation %v, want both on M1", best.Assignment)
+	}
+}
+
+func TestPaperTable3ContentionFlipsAllocation(t *testing.T) {
+	// M1 time-shared with CPU-bound load: execution on M1 slowed ×3.
+	p := PaperExample().ScaleExec("M1", 3)
+	if got := p.Exec["A"]["M1"]; got != 36 {
+		t.Fatalf("A on M1 = %v, want 36 (Table 3)", got)
+	}
+	if got := p.Exec["B"]["M1"]; got != 12 {
+		t.Fatalf("B on M1 = %v, want 12 (Table 3)", got)
+	}
+	best, err := p.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Makespan != 38 {
+		t.Fatalf("makespan %v, want 38 (A on M2, B on M1: 18+8+12)", best.Makespan)
+	}
+	if best.Assignment["A"] != "M2" || best.Assignment["B"] != "M1" {
+		t.Fatalf("allocation %v, want A→M2 B→M1", best.Assignment)
+	}
+	// Both-on-M1 would cost 48, 10 units worse, as the paper notes.
+	both, err := p.Evaluate(Assignment{"A": "M1", "B": "M1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both != 48 {
+		t.Fatalf("both-on-M1 = %v, want 48", both)
+	}
+}
+
+func TestPaperTable4CommContentionFlipsBack(t *testing.T) {
+	// Computation and communication both slowed ×3 (Tables 3 and 4):
+	// the comm penalty outweighs offloading A, so both stay on M1.
+	p := PaperExample().ScaleExec("M1", 3).ScaleComm(3)
+	if got := p.Edges[0].Cost[Route{From: "M1", To: "M2"}]; got != 21 {
+		t.Fatalf("M1→M2 = %v, want 21 (Table 4)", got)
+	}
+	if got := p.Edges[0].Cost[Route{From: "M2", To: "M1"}]; got != 24 {
+		t.Fatalf("M2→M1 = %v, want 24 (Table 4)", got)
+	}
+	best, err := p.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Makespan != 48 {
+		t.Fatalf("makespan %v, want 48 (both on M1)", best.Makespan)
+	}
+	if best.Assignment["A"] != "M1" || best.Assignment["B"] != "M1" {
+		t.Fatalf("allocation %v, want both on M1", best.Assignment)
+	}
+	// The split allocation now costs 18+24+12 = 54.
+	split, err := p.Evaluate(Assignment{"A": "M2", "B": "M1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split != 54 {
+		t.Fatalf("split = %v, want 54", split)
+	}
+}
+
+func TestRankOrdersAllAssignments(t *testing.T) {
+	p := PaperExample()
+	ranked, err := p.Rank()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 4 {
+		t.Fatalf("ranked %d assignments, want 4", len(ranked))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Makespan < ranked[i-1].Makespan {
+			t.Fatalf("rank order violated at %d: %v after %v", i, ranked[i].Makespan, ranked[i-1].Makespan)
+		}
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	p := PaperExample()
+	if _, err := p.Evaluate(Assignment{"A": "M1"}); err == nil {
+		t.Fatal("missing assignment accepted")
+	}
+	if _, err := p.Evaluate(Assignment{"A": "M1", "B": "M9"}); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	bad := []Problem{
+		{},
+		{Tasks: []Task{"A"}},
+		{Tasks: []Task{"A"}, Machines: []Machine{"M"}},
+		{Tasks: []Task{"A", "A"}, Machines: []Machine{"M"},
+			Exec: map[Task]map[Machine]float64{"A": {"M": 1}}},
+		{Tasks: []Task{"A"}, Machines: []Machine{"M"},
+			Exec: map[Task]map[Machine]float64{"A": {"M": -1}}},
+		{Tasks: []Task{"A"}, Machines: []Machine{"M"},
+			Exec:  map[Task]map[Machine]float64{"A": {"M": 1}},
+			Edges: []Edge{{From: "A", To: "Z"}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d did not error", i)
+		}
+	}
+}
+
+func TestScaleDoesNotMutateOriginal(t *testing.T) {
+	p := PaperExample()
+	_ = p.ScaleExec("M1", 3)
+	_ = p.ScaleComm(3)
+	if p.Exec["A"]["M1"] != 12 {
+		t.Fatal("ScaleExec mutated the original")
+	}
+	if p.Edges[0].Cost[Route{From: "M1", To: "M2"}] != 7 {
+		t.Fatal("ScaleComm mutated the original")
+	}
+}
+
+func TestAssignmentStringDeterministic(t *testing.T) {
+	a := Assignment{"B": "M1", "A": "M2"}
+	if a.String() != "A→M2 B→M1" {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+func TestThreeMachineChain(t *testing.T) {
+	p := Problem{
+		Tasks:    []Task{"T1", "T2", "T3"},
+		Machines: []Machine{"M1", "M2", "M3"},
+		Exec: map[Task]map[Machine]float64{
+			"T1": {"M1": 1, "M2": 10, "M3": 10},
+			"T2": {"M1": 10, "M2": 1, "M3": 10},
+			"T3": {"M1": 10, "M2": 10, "M3": 1},
+		},
+		Edges: []Edge{
+			{From: "T1", To: "T2", Cost: allRoutes([]Machine{"M1", "M2", "M3"}, 2)},
+			{From: "T2", To: "T3", Cost: allRoutes([]Machine{"M1", "M2", "M3"}, 2)},
+		},
+	}
+	best, err := p.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each task on its fast machine: 3 exec + 2 transfers = 7.
+	if best.Makespan != 7 {
+		t.Fatalf("makespan %v, want 7", best.Makespan)
+	}
+}
+
+func allRoutes(ms []Machine, cost float64) map[Route]float64 {
+	out := map[Route]float64{}
+	for _, a := range ms {
+		for _, b := range ms {
+			if a != b {
+				out[Route{From: a, To: b}] = cost
+			}
+		}
+	}
+	return out
+}
+
+// Property: Best is never worse than any specific assignment, and
+// scaling all exec costs on an unused machine does not change the best
+// makespan.
+func TestBestIsOptimalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomProblem(r)
+		ranked, err := p.Rank()
+		if err != nil {
+			return false
+		}
+		best := ranked[0].Makespan
+		for _, cand := range ranked {
+			if cand.Makespan < best-1e-12 {
+				return false
+			}
+		}
+		// Direct evaluation agrees.
+		got, err := p.Evaluate(ranked[0].Assignment)
+		return err == nil && math.Abs(got-best) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scaling exec on one machine by f ≥ 1 cannot decrease the
+// optimal makespan.
+func TestScalingMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomProblem(r)
+		b1, err := p.Best()
+		if err != nil {
+			return false
+		}
+		f2 := 1 + r.Float64()*3
+		b2, err := p.ScaleExec(p.Machines[0], f2).Best()
+		if err != nil {
+			return false
+		}
+		return b2.Makespan >= b1.Makespan-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomProblem(r *rand.Rand) Problem {
+	nT := 2 + r.Intn(3)
+	nM := 2 + r.Intn(2)
+	tasks := make([]Task, nT)
+	machines := make([]Machine, nM)
+	for i := range tasks {
+		tasks[i] = Task(string(rune('A' + i)))
+	}
+	for i := range machines {
+		machines[i] = Machine(string(rune('P' + i)))
+	}
+	exec := map[Task]map[Machine]float64{}
+	for _, t := range tasks {
+		row := map[Machine]float64{}
+		for _, m := range machines {
+			row[m] = 1 + r.Float64()*20
+		}
+		exec[t] = row
+	}
+	var edges []Edge
+	for i := 0; i+1 < len(tasks); i++ {
+		cost := map[Route]float64{}
+		for _, a := range machines {
+			for _, b := range machines {
+				if a != b {
+					cost[Route{From: a, To: b}] = r.Float64() * 10
+				}
+			}
+		}
+		edges = append(edges, Edge{From: tasks[i], To: tasks[i+1], Cost: cost})
+	}
+	return Problem{Tasks: tasks, Machines: machines, Exec: exec, Edges: edges}
+}
+
+func TestAdjustForLoadReproducesTables34(t *testing.T) {
+	p := PaperExample()
+	// Table 3: M1 computation slowed ×3, links unaffected.
+	adj, err := p.AdjustForLoad(map[Machine]Load{"M1": {Comp: 3, Comm: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := adj.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Makespan != 38 {
+		t.Fatalf("Table-3 makespan %v, want 38", best.Makespan)
+	}
+	// Table 4: computation and communication both ×3 on M1's side.
+	adj, err = p.AdjustForLoad(map[Machine]Load{"M1": {Comp: 3, Comm: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err = adj.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Makespan != 48 {
+		t.Fatalf("Table-4 makespan %v, want 48", best.Makespan)
+	}
+}
+
+func TestAdjustForLoadUsesMaxEndpointFactor(t *testing.T) {
+	p := PaperExample()
+	adj, err := p.AdjustForLoad(map[Machine]Load{
+		"M1": {Comp: 1, Comm: 2},
+		"M2": {Comp: 1, Comm: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both routes touch M2, so both scale ×5.
+	if got := adj.Edges[0].Cost[Route{From: "M1", To: "M2"}]; got != 35 {
+		t.Fatalf("M1→M2 = %v, want 35", got)
+	}
+	if got := adj.Edges[0].Cost[Route{From: "M2", To: "M1"}]; got != 40 {
+		t.Fatalf("M2→M1 = %v, want 40", got)
+	}
+}
+
+func TestAdjustForLoadLeavesOriginalAndValidates(t *testing.T) {
+	p := PaperExample()
+	if _, err := p.AdjustForLoad(map[Machine]Load{"M1": {Comp: 0.5, Comm: 1}}); err == nil {
+		t.Fatal("sub-1 comp factor accepted")
+	}
+	if _, err := p.AdjustForLoad(map[Machine]Load{"M1": {Comp: 1, Comm: 0}}); err == nil {
+		t.Fatal("sub-1 comm factor accepted")
+	}
+	adj, err := p.AdjustForLoad(map[Machine]Load{"M1": {Comp: 2, Comm: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = adj
+	if p.Exec["A"]["M1"] != 12 || p.Edges[0].Cost[Route{From: "M1", To: "M2"}] != 7 {
+		t.Fatal("AdjustForLoad mutated the original problem")
+	}
+}
+
+func TestAdjustForLoadEmptyMapIsIdentity(t *testing.T) {
+	p := PaperExample()
+	adj, err := p.AdjustForLoad(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := p.Best()
+	b2, _ := adj.Best()
+	if b1.Makespan != b2.Makespan {
+		t.Fatalf("identity adjustment changed makespan %v → %v", b1.Makespan, b2.Makespan)
+	}
+}

@@ -1,0 +1,30 @@
+package contention
+
+import (
+	"contention/internal/experiments"
+)
+
+// Experiment reproduction (see internal/experiments).
+type (
+	// ExperimentResult is one reproduced table or figure.
+	ExperimentResult = experiments.Result
+	// ExperimentSeries is one labelled curve of a figure.
+	ExperimentSeries = experiments.Series
+	// ExperimentEnv bundles the calibrations the drivers share.
+	ExperimentEnv = experiments.Env
+)
+
+// NewExperimentEnv calibrates both platforms for the experiment drivers.
+func NewExperimentEnv() (*ExperimentEnv, error) { return experiments.NewEnv() }
+
+// AllExperiments reproduces every table and figure of the paper's
+// evaluation in order.
+func AllExperiments(env *ExperimentEnv) ([]ExperimentResult, error) {
+	return experiments.All(env)
+}
+
+// ExtensionExperiments runs the drivers beyond the paper's published
+// exhibits: the synthetic generality suite and the §4 extensions.
+func ExtensionExperiments(env *ExperimentEnv) ([]ExperimentResult, error) {
+	return experiments.Extensions(env)
+}

@@ -1,0 +1,38 @@
+package contention
+
+import (
+	"contention/internal/monitor"
+	"contention/internal/rm"
+)
+
+// Run-time infrastructure around the model: the resource manager the
+// paper assumes supplies the application set (§2), and a load monitor
+// that estimates workload parameters from observation when no
+// descriptors are available.
+type (
+	// ResourceManager admits applications, queues MPP partition
+	// requests, and maintains the incremental slowdown state.
+	ResourceManager = rm.Manager
+	// ResourceManagerConfig configures a ResourceManager.
+	ResourceManagerConfig = rm.Config
+	// AppDescriptor registers one application with the manager.
+	AppDescriptor = rm.AppDescriptor
+	// RunningApp is an admitted application.
+	RunningApp = rm.Running
+	// Monitor samples a platform and estimates workload parameters.
+	Monitor = monitor.Monitor
+	// MonitorSample is one reading of the platform counters.
+	MonitorSample = monitor.Sample
+	// WorkloadEstimate summarizes an observation window.
+	WorkloadEstimate = monitor.Estimate
+)
+
+// NewResourceManager builds a resource manager.
+func NewResourceManager(k *Kernel, cfg ResourceManagerConfig) (*ResourceManager, error) {
+	return rm.New(k, cfg)
+}
+
+// NewMonitor creates a load monitor sampling sp every interval seconds.
+func NewMonitor(sp *SunParagon, interval float64, maxKeep int) (*Monitor, error) {
+	return monitor.New(sp, interval, maxKeep)
+}
