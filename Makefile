@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench fmt
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The full local gate: everything CI would run.
+check: build vet race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run ^$$ .
+
+fmt:
+	gofmt -l -w .

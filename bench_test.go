@@ -321,3 +321,22 @@ func BenchmarkExtensionOffloadDecision(b *testing.B) {
 	}
 	b.ReportMetric(errPct, "err%")
 }
+
+// BenchmarkFaultTolerance reports how much error the injected-fault
+// sweep adds to the fault-blind calibrated model at the heaviest
+// intensity, relative to the clean run.
+func BenchmarkFaultTolerance(b *testing.B) {
+	env := benchEnv(b)
+	var clean, heavy float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.FaultTolerance(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		clean = r.Err("clean")
+		heavy = r.Err("heaviest-fault")
+	}
+	b.ReportMetric(clean, "clean-err%")
+	b.ReportMetric(heavy, "faulty-err%")
+}

@@ -26,6 +26,15 @@ func main() {
 	contenders := flag.Int("contenders", 4, "delay-table depth (max contenders)")
 	asJSON := flag.Bool("json", false, "emit the calibration as JSON (loadable with contention.LoadCalibration)")
 	flag.Parse()
+	defer exitOnPanic()
+	if *burst < 1 {
+		fmt.Fprintf(os.Stderr, "-burst %d must be ≥ 1\n", *burst)
+		os.Exit(2)
+	}
+	if *contenders < 1 {
+		fmt.Fprintf(os.Stderr, "-contenders %d must be ≥ 1\n", *contenders)
+		os.Exit(2)
+	}
 
 	var hop platform.HopMode
 	switch *mode {
@@ -90,4 +99,14 @@ func printTable(label string, xs []float64) {
 		fmt.Printf(" i=%d:%.3f", i+1, v)
 	}
 	fmt.Println()
+}
+
+// exitOnPanic turns a stray panic from the internal packages into a
+// clean error exit instead of a crash dump — user input must never
+// produce a stack trace.
+func exitOnPanic() {
+	if r := recover(); r != nil {
+		fmt.Fprintln(os.Stderr, "fatal:", r)
+		os.Exit(1)
+	}
 }

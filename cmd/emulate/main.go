@@ -26,6 +26,15 @@ func main() {
 	senders := flag.Int("senders", 2, "maximum concurrent contender senders on the link")
 	work := flag.Float64("work", 0.1, "probe job size in CPU-seconds")
 	flag.Parse()
+	defer exitOnPanic()
+	if *maxP < 0 || *senders < 0 {
+		fmt.Fprintf(os.Stderr, "contender counts must be non-negative (-p %d, -senders %d)\n", *maxP, *senders)
+		os.Exit(2)
+	}
+	if *work <= 0 {
+		fmt.Fprintf(os.Stderr, "-work %v must be positive\n", *work)
+		os.Exit(2)
+	}
 
 	fmt.Println("calibrating spin rate...")
 	spinner, err := emu.CalibrateSpinner(200 * time.Millisecond)
@@ -70,5 +79,15 @@ func main() {
 		fmt.Printf("%4d  %12v  %12v  %9.2f  %7.0f  %5.1f%%\n",
 			n, res.Dedicated.Round(time.Millisecond), res.Contended.Round(time.Millisecond),
 			res.Slowdown, res.ModelSlowdown, res.ErrPct)
+	}
+}
+
+// exitOnPanic turns a stray panic from the internal packages into a
+// clean error exit instead of a crash dump — user input must never
+// produce a stack trace.
+func exitOnPanic() {
+	if r := recover(); r != nil {
+		fmt.Fprintln(os.Stderr, "fatal:", r)
+		os.Exit(1)
 	}
 }

@@ -25,10 +25,11 @@ func main() {
 	extensions := flag.Bool("extensions", false, "also run the extension experiments (synthetic suite, I/O, phased, multi-machine)")
 	asJSON := flag.Bool("json", false, "emit results as a JSON array instead of text tables")
 	flag.Parse()
+	defer exitOnPanic()
 
 	ids := []string{"table1-2", "table3", "table4", "figure1", "figure2",
 		"figure3", "figure4", "figure5", "figure6", "figure7", "figure8",
-		"synthetic", "iochar", "phased", "multimachine", "offload"}
+		"synthetic", "iochar", "phased", "multimachine", "offload", "faulttolerance"}
 	if *list {
 		for _, id := range ids {
 			fmt.Println(id)
@@ -48,7 +49,7 @@ func main() {
 		os.Exit(1)
 	}
 	wantExt := *extensions
-	if *only == "synthetic" || *only == "iochar" || *only == "phased" || *only == "multimachine" || *only == "offload" {
+	if *only == "synthetic" || *only == "iochar" || *only == "phased" || *only == "multimachine" || *only == "offload" || *only == "faulttolerance" {
 		wantExt = true
 	}
 	if wantExt {
@@ -83,5 +84,15 @@ func main() {
 	}
 	for _, r := range selected {
 		fmt.Println(r.Render())
+	}
+}
+
+// exitOnPanic turns a stray panic from the internal packages into a
+// clean error exit instead of a crash dump — user input must never
+// produce a stack trace.
+func exitOnPanic() {
+	if r := recover(); r != nil {
+		fmt.Fprintln(os.Stderr, "fatal:", r)
+		os.Exit(1)
 	}
 }

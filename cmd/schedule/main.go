@@ -33,6 +33,15 @@ func main() {
 	commSlowdown := flag.Float64("comm-slowdown", 1, "communication slowdown factor for all transfers")
 	top := flag.Int("top", 0, "print only the best N allocations (0 = all)")
 	flag.Parse()
+	defer exitOnPanic()
+	if *execSlowdown <= 0 || *commSlowdown <= 0 {
+		fmt.Fprintf(os.Stderr, "slowdown factors must be positive (exec %v, comm %v)\n", *execSlowdown, *commSlowdown)
+		os.Exit(2)
+	}
+	if *top < 0 {
+		fmt.Fprintf(os.Stderr, "-top %d must be non-negative\n", *top)
+		os.Exit(2)
+	}
 
 	var p sched.Problem
 	if *example {
@@ -64,5 +73,15 @@ func main() {
 	}
 	for i := 0; i < n; i++ {
 		fmt.Printf("%2d. %-30s makespan %.4g\n", i+1, ranked[i].Assignment, ranked[i].Makespan)
+	}
+}
+
+// exitOnPanic turns a stray panic from the internal packages into a
+// clean error exit instead of a crash dump — user input must never
+// produce a stack trace.
+func exitOnPanic() {
+	if r := recover(); r != nil {
+		fmt.Fprintln(os.Stderr, "fatal:", r)
+		os.Exit(1)
 	}
 }

@@ -35,7 +35,9 @@
 package contention
 
 import (
+	"fmt"
 	"io"
+	"math"
 
 	"contention/internal/core"
 )
@@ -80,8 +82,14 @@ func NewPredictor(cal Calibration) (*Predictor, error) { return core.NewPredicto
 func NewSystem(tables DelayTables) (*System, error) { return core.NewSystem(tables) }
 
 // SimpleSlowdown is the CM2-platform slowdown p+1 for p extra CPU-bound
-// processes on a fair-shared CPU.
-func SimpleSlowdown(p int) float64 { return core.SimpleSlowdown(p) }
+// processes on a fair-shared CPU. Unlike the internal helper it rejects
+// a negative p with an error instead of panicking.
+func SimpleSlowdown(p int) (float64, error) {
+	if p < 0 {
+		return 0, fmt.Errorf("contention: negative contender count %d", p)
+	}
+	return core.SimpleSlowdown(p), nil
+}
 
 // CommSlowdown is the Sun/Paragon communication slowdown:
 // 1 + Σ pcomp_i·delay^i_comp + Σ pcomm_i·delay^i_comm.
@@ -102,13 +110,31 @@ func CompSlowdownWithJ(cs []Contender, t DelayTables, j int) (float64, error) {
 }
 
 // CM2ExecTime is the back-end execution law
-// max(dcomp+didle, dserial×(p+1)).
-func CM2ExecTime(dcomp, didle, dserial float64, p int) float64 {
-	return core.CM2ExecTime(dcomp, didle, dserial, p)
+// max(dcomp+didle, dserial×(p+1)). Invalid inputs (negative times or
+// contender count, NaN) return an error instead of panicking.
+func CM2ExecTime(dcomp, didle, dserial float64, p int) (float64, error) {
+	if p < 0 {
+		return 0, fmt.Errorf("contention: negative contender count %d", p)
+	}
+	for _, v := range [...]float64{dcomp, didle, dserial} {
+		if v < 0 || math.IsNaN(v) {
+			return 0, fmt.Errorf("contention: invalid CM2 time component %v", v)
+		}
+	}
+	return core.CM2ExecTime(dcomp, didle, dserial, p), nil
 }
 
 // CM2CommTime scales a dedicated CM2 transfer cost by the CPU slowdown.
-func CM2CommTime(dcomm float64, p int) float64 { return core.CM2CommTime(dcomm, p) }
+// Invalid inputs return an error instead of panicking.
+func CM2CommTime(dcomm float64, p int) (float64, error) {
+	if p < 0 {
+		return 0, fmt.Errorf("contention: negative contender count %d", p)
+	}
+	if dcomm < 0 || math.IsNaN(dcomm) {
+		return 0, fmt.Errorf("contention: invalid dedicated comm cost %v", dcomm)
+	}
+	return core.CM2CommTime(dcomm, p), nil
+}
 
 // ShouldOffload is the paper's Equation (1): offload a task to the
 // back-end only when tHost > tBack + cTo + cFrom.

@@ -38,7 +38,10 @@ func main() {
 
 	// Table 3: two CPU-bound applications arrive on M1. The fair-share
 	// CPU gives slowdown p+1 = 3 for everything M1 computes.
-	slowdown := contention.SimpleSlowdown(2)
+	slowdown, err := contention.SimpleSlowdown(2)
+	if err != nil {
+		log.Fatal(err)
+	}
 	p3 := p.ScaleExec("M1", slowdown)
 	best = report(fmt.Sprintf("M1 compute slowed ×%g (Table 3): offload A to M2.", slowdown), p3)
 	if best.Makespan != 38 {

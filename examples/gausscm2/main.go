@@ -43,7 +43,10 @@ func main() {
 	for _, m := range []int{50, 100, 150, 200, 300, 400} {
 		prog := contention.GaussCM2Program(m)
 		dedicated, busy, idle := run(m, 0)
-		model := contention.CM2ExecTime(busy, idle, prog.TotalSerial(), 3)
+		model, err := contention.CM2ExecTime(busy, idle, prog.TotalSerial(), 3)
+		if err != nil {
+			log.Fatal(err)
+		}
 		actual, _, _ := run(m, 3)
 		errPct := 100 * math.Abs(model-actual) / actual
 		fmt.Printf("%6d  %12.4f  %12.4f  %12.4f  %8.1f%%\n", m, dedicated, model, actual, errPct)

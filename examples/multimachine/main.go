@@ -61,7 +61,11 @@ func main() {
 	actual := -1.0
 	k.Spawn("bench", func(p *contention.Proc) {
 		p.Delay(0.5)
-		actual = contention.PingPongBurst(p, legs[0], "bench", 1000, 512)
+		var err error
+		actual, err = contention.PingPongBurst(p, legs[0], "bench", 1000, 512)
+		if err != nil {
+			log.Fatal(err)
+		}
 		k.Stop()
 	})
 	k.Run()

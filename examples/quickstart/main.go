@@ -72,7 +72,11 @@ func main() {
 	actual := -1.0
 	k.Spawn("bench", func(p *contention.Proc) {
 		p.Delay(0.5) // let contenders reach steady state
-		actual = contention.PingPongBurst(p, sp, "bench", 1000, 512)
+		var err error
+		actual, err = contention.PingPongBurst(p, sp, "bench", 1000, 512)
+		if err != nil {
+			log.Fatal(err)
+		}
 		k.Stop()
 	})
 	k.Run()

@@ -48,14 +48,27 @@ func TestFacadeCalibrateAndPredict(t *testing.T) {
 }
 
 func TestFacadeSlowdownFunctions(t *testing.T) {
-	if got := contention.SimpleSlowdown(3); got != 4 {
-		t.Fatalf("SimpleSlowdown(3) = %v", got)
+	if got, err := contention.SimpleSlowdown(3); err != nil || got != 4 {
+		t.Fatalf("SimpleSlowdown(3) = %v, %v", got, err)
 	}
-	if got := contention.CM2ExecTime(1, 0.5, 3, 2); got != 9 {
-		t.Fatalf("CM2ExecTime = %v, want 9", got)
+	if got, err := contention.CM2ExecTime(1, 0.5, 3, 2); err != nil || got != 9 {
+		t.Fatalf("CM2ExecTime = %v, %v, want 9", got, err)
 	}
-	if got := contention.CM2CommTime(2, 1); got != 4 {
-		t.Fatalf("CM2CommTime = %v, want 4", got)
+	if got, err := contention.CM2CommTime(2, 1); err != nil || got != 4 {
+		t.Fatalf("CM2CommTime = %v, %v, want 4", got, err)
+	}
+	// The façade rejects invalid inputs with errors, never panics.
+	if _, err := contention.SimpleSlowdown(-1); err == nil {
+		t.Fatal("SimpleSlowdown(-1) accepted")
+	}
+	if _, err := contention.CM2ExecTime(-1, 0, 0, 0); err == nil {
+		t.Fatal("CM2ExecTime with negative dcomp accepted")
+	}
+	if _, err := contention.CM2ExecTime(1, 0, 0, -2); err == nil {
+		t.Fatal("CM2ExecTime with negative p accepted")
+	}
+	if _, err := contention.CM2CommTime(-1, 0); err == nil {
+		t.Fatal("CM2CommTime with negative dcomm accepted")
 	}
 	if !contention.ShouldOffload(10, 2, 3, 3) {
 		t.Fatal("ShouldOffload(10,2,3,3) = false")
@@ -109,7 +122,17 @@ func TestFacadeSimulationRoundTrip(t *testing.T) {
 	}
 	var elapsed float64
 	k.Spawn("bench", func(p *contention.Proc) {
-		elapsed = contention.PingPongBurst(p, sp, "x", 20, 100)
+		if _, err := contention.PingPongBurst(p, sp, "x", 0, 100); err == nil {
+			t.Error("zero-count burst accepted")
+		}
+		if _, err := contention.PingPongBurst(p, nil, "x", 20, 100); err == nil {
+			t.Error("nil platform accepted")
+		}
+		var err error
+		elapsed, err = contention.PingPongBurst(p, sp, "x", 20, 100)
+		if err != nil {
+			t.Error(err)
+		}
 		k.Stop()
 	})
 	k.Run()
@@ -183,7 +206,11 @@ func TestFacadeScheduler(t *testing.T) {
 	if best.Makespan != 16 {
 		t.Fatalf("makespan %v", best.Makespan)
 	}
-	adjusted := p.ScaleExec("M1", contention.SimpleSlowdown(2)).ScaleComm(3)
+	slowdown, err := contention.SimpleSlowdown(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adjusted := p.ScaleExec("M1", slowdown).ScaleComm(3)
 	best, err = adjusted.Best()
 	if err != nil {
 		t.Fatal(err)
@@ -276,8 +303,11 @@ func TestFacadeExperimentEnv(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ext) != 5 {
-		t.Fatalf("got %d extension experiments, want 5", len(ext))
+	if len(ext) != 6 {
+		t.Fatalf("got %d extension experiments, want 6", len(ext))
+	}
+	if ext[len(ext)-1].ID != "faulttolerance" {
+		t.Fatalf("last extension %q, want faulttolerance", ext[len(ext)-1].ID)
 	}
 }
 

@@ -53,7 +53,8 @@ func (c Calibration) Validate() error {
 // calibration and a contender set. It is the façade a scheduler uses to
 // rank candidate allocations.
 type Predictor struct {
-	cal Calibration
+	cal   Calibration
+	stale string // non-empty: calibration marked stale, reason attached
 }
 
 // NewPredictor validates the calibration and returns a predictor.
@@ -62,6 +63,16 @@ func NewPredictor(cal Calibration) (*Predictor, error) {
 		return nil, err
 	}
 	return &Predictor{cal: cal}, nil
+}
+
+// NewPredictorLenient accepts a possibly incomplete or invalid
+// calibration without error. The strict Predict* methods behave as
+// usual (and fail where the calibration cannot support them); the
+// Robust variants degrade to the conservative worst case instead of
+// failing. Use it when a scheduler must keep ranking allocations even
+// though the calibration suite has not (fully) run.
+func NewPredictorLenient(cal Calibration) *Predictor {
+	return &Predictor{cal: cal}
 }
 
 // Calibration returns the predictor's calibration.
@@ -85,6 +96,12 @@ func (p *Predictor) model(dir Direction) (CommModel, error) {
 func (p *Predictor) DedicatedComm(dir Direction, sets []DataSet) (float64, error) {
 	m, err := p.model(dir)
 	if err != nil {
+		return 0, err
+	}
+	// Guard lenient predictors: an invalid α/β fit must error here, not
+	// price transfers at Inf/NaN (worst-case pessimism can stand in for
+	// missing delay tables, but not for a missing cost model).
+	if err := m.Validate(); err != nil {
 		return 0, err
 	}
 	return m.Dedicated(sets)
@@ -127,4 +144,119 @@ func (p *Predictor) PredictCompWithJ(dcomp float64, cs []Contender, j int) (floa
 		return 0, err
 	}
 	return dcomp * s, nil
+}
+
+// --- Graceful degradation ---------------------------------------------------
+
+// Prediction is a cost prediction carrying degradation metadata: when
+// the calibration cannot support the paper's mixture model, Value holds
+// the conservative p+1 worst case instead, Degraded is set, and Reason
+// says why. Callers that ignore the flag still get a usable (if
+// pessimistic) number — degraded, never wrong-silently.
+type Prediction struct {
+	Value    float64
+	Degraded bool
+	Reason   string
+}
+
+// WorstCaseSlowdown is the conservative fallback the degraded mode uses:
+// all p contenders permanently resident on a fair-shared resource slow
+// the application by p+1 (the paper's CM2-platform law, which needs no
+// delay tables at all).
+func WorstCaseSlowdown(cs []Contender) float64 { return float64(len(cs) + 1) }
+
+// MarkStale flags the calibration as stale — e.g. the resource manager
+// observed a job-mix regime change since calibration (§4: "slowdown
+// factors should be recalculated when the job mix changes"). Until
+// ClearStale, the Robust methods return the worst-case fallback.
+func (p *Predictor) MarkStale(reason string) {
+	if reason == "" {
+		reason = "calibration marked stale"
+	}
+	p.stale = reason
+}
+
+// ClearStale removes the staleness mark (after recalibration).
+func (p *Predictor) ClearStale() { p.stale = "" }
+
+// Stale reports the staleness reason ("" when fresh).
+func (p *Predictor) Stale() string { return p.stale }
+
+// degradeReasonComm reports why the communication slowdown cannot be
+// trusted, or "" when the tables support it.
+func (p *Predictor) degradeReasonComm(cs []Contender) string {
+	if p.stale != "" {
+		return "stale calibration: " + p.stale
+	}
+	t := p.cal.Tables
+	if len(t.CompOnComm) == 0 && len(t.CommOnComm) == 0 {
+		return "no delay tables calibrated"
+	}
+	if len(t.CompOnComm) < len(cs) || len(t.CommOnComm) < len(cs) {
+		return fmt.Sprintf("delay tables cover %d/%d contenders",
+			min(len(t.CompOnComm), len(t.CommOnComm)), len(cs))
+	}
+	return ""
+}
+
+// degradeReasonComp is the computation-slowdown analogue.
+func (p *Predictor) degradeReasonComp(cs []Contender) string {
+	if p.stale != "" {
+		return "stale calibration: " + p.stale
+	}
+	t := p.cal.Tables
+	anyComm := false
+	for _, c := range cs {
+		if c.CommFraction > 0 {
+			anyComm = true
+			break
+		}
+	}
+	if anyComm {
+		if len(t.CommOnComp) == 0 {
+			return "no delay^{i,j} columns calibrated"
+		}
+		for j, col := range t.CommOnComp {
+			if len(col) < len(cs) {
+				return fmt.Sprintf("delay^{i,%d} column covers %d/%d contenders", j, len(col), len(cs))
+			}
+		}
+	}
+	return ""
+}
+
+// PredictCommRobust is PredictComm with graceful degradation: when the
+// delay tables are missing, partial, invalid, or stale it returns
+// dcomm × (p+1) flagged Degraded instead of an error. It still errors
+// when the dedicated model itself cannot price the transfer (no α/β fit
+// can be substituted by pessimism).
+func (p *Predictor) PredictCommRobust(dir Direction, sets []DataSet, cs []Contender) (Prediction, error) {
+	dcomm, err := p.DedicatedComm(dir, sets)
+	if err != nil {
+		return Prediction{}, err
+	}
+	if reason := p.degradeReasonComm(cs); reason != "" {
+		return Prediction{Value: dcomm * WorstCaseSlowdown(cs), Degraded: true, Reason: reason}, nil
+	}
+	s, err := CommSlowdown(cs, p.cal.Tables)
+	if err != nil {
+		return Prediction{Value: dcomm * WorstCaseSlowdown(cs), Degraded: true, Reason: err.Error()}, nil
+	}
+	return Prediction{Value: dcomm * s}, nil
+}
+
+// PredictCompRobust is PredictComp with graceful degradation to
+// dcomp × (p+1) when the delay^{i,j} tables cannot support the mixture.
+func (p *Predictor) PredictCompRobust(dcomp float64, cs []Contender) (Prediction, error) {
+	if dcomp < 0 {
+		return Prediction{}, errors.New("core: negative dedicated computation time")
+	}
+	if reason := p.degradeReasonComp(cs); reason != "" {
+		return Prediction{Value: dcomp * WorstCaseSlowdown(cs), Degraded: true, Reason: reason}, nil
+	}
+	s, err := CompSlowdown(cs, p.cal.Tables)
+	if err != nil {
+		return Prediction{Value: dcomp * WorstCaseSlowdown(cs), Degraded: true, Reason: err.Error()}, nil
+	}
+	return Prediction{Value: dcomp * s}, nil
 }

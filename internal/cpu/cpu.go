@@ -30,6 +30,12 @@ type Host struct {
 	loadIntegral float64 // ∫ (number of resident jobs) dt
 	completed    int
 
+	// stallUntil is the end of the current stall window: until then the
+	// host makes no progress on resident jobs (see Stall). Jobs stay
+	// resident — a stalled host is busy, not idle.
+	stallUntil float64
+	stalls     int
+
 	// Memory extension (see memory.go).
 	mem      MemoryConfig
 	hasMem   bool
@@ -129,21 +135,57 @@ func (h *Host) ComputeAsync(work float64, onDone func()) {
 }
 
 // advance applies elapsed time to all resident jobs' remaining work.
+// Time overlapping a stall window counts toward residency accounting but
+// contributes no progress.
 func (h *Host) advance() {
 	now := h.k.Now()
-	dt := now - h.lastUpdate
+	prev := h.lastUpdate
+	dt := now - prev
 	h.lastUpdate = now
 	if dt <= 0 || len(h.jobs) == 0 {
 		return
 	}
 	h.busyTime += dt
 	h.loadIntegral += dt * float64(len(h.jobs))
+	effDt := dt
+	if h.stallUntil > prev {
+		frozenEnd := math.Min(now, h.stallUntil)
+		effDt -= frozenEnd - prev
+	}
+	if effDt <= 0 {
+		return
+	}
 	total := h.totalWeight()
 	eff := h.speed / h.PagingFactor()
 	for _, j := range h.jobs {
-		j.remaining -= dt * eff * j.weight / total
+		j.remaining -= effDt * eff * j.weight / total
 	}
 }
+
+// Stall freezes all progress on the host for d seconds of virtual time —
+// the fault model's host-stall / crash-restart-downtime window. Resident
+// jobs keep their progress (checkpoint-restart semantics) and resume when
+// the window ends; overlapping stalls merge.
+func (h *Host) Stall(d float64) {
+	if d < 0 || math.IsNaN(d) {
+		panic(fmt.Sprintf("cpu: invalid stall duration %v", d))
+	}
+	if d == 0 {
+		return
+	}
+	h.advance()
+	if until := h.k.Now() + d; until > h.stallUntil {
+		h.stallUntil = until
+	}
+	h.stalls++
+	h.reschedule()
+}
+
+// Stalled reports whether the host is currently inside a stall window.
+func (h *Host) Stalled() bool { return h.k.Now() < h.stallUntil }
+
+// Stalls reports the number of stall windows injected so far.
+func (h *Host) Stalls() int { return h.stalls }
 
 func (h *Host) totalWeight() float64 {
 	w := 0.0
@@ -165,6 +207,10 @@ func (h *Host) reschedule() {
 	}
 	total := h.totalWeight()
 	eff := h.speed / h.PagingFactor()
+	stallLeft := 0.0
+	if h.stallUntil > h.k.Now() {
+		stallLeft = h.stallUntil - h.k.Now()
+	}
 	next := math.Inf(1)
 	for _, j := range h.jobs {
 		t := j.remaining * total / (eff * j.weight)
@@ -175,7 +221,7 @@ func (h *Host) reschedule() {
 	if next < 0 {
 		next = 0
 	}
-	h.completion = h.k.After(next, h.finishDue)
+	h.completion = h.k.After(stallLeft+next, h.finishDue)
 }
 
 // finishDue retires every job whose remaining work has reached zero.

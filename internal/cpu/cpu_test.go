@@ -264,3 +264,86 @@ func TestPSWorkConservationStaggeredProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestStallFreezesProgress(t *testing.T) {
+	// A job with 2 units of work at speed 1 is stalled for 3 seconds at
+	// t=1: it finishes at 1 + 3 + 1 = 5, not 2.
+	k := des.New()
+	h := NewHost(k, "sun", 1)
+	var done float64
+	k.Spawn("a", func(p *des.Proc) { h.Compute(p, 2); done = p.Now() })
+	k.At(1, func() { h.Stall(3) })
+	k.Run()
+	if !approx(done, 5, 1e-9) {
+		t.Fatalf("finished at %v, want 5", done)
+	}
+	if h.Stalls() != 1 {
+		t.Fatalf("Stalls() = %d, want 1", h.Stalls())
+	}
+}
+
+func TestOverlappingStallsMerge(t *testing.T) {
+	// Two overlapping stalls [1,4) and [2,6) freeze [1,6): a 2-unit job
+	// finishes at 1 + 5 + 1 = 7.
+	k := des.New()
+	h := NewHost(k, "sun", 1)
+	var done float64
+	k.Spawn("a", func(p *des.Proc) { h.Compute(p, 2); done = p.Now() })
+	k.At(1, func() { h.Stall(3) })
+	k.At(2, func() { h.Stall(4) })
+	k.Run()
+	if !approx(done, 7, 1e-9) {
+		t.Fatalf("finished at %v, want 7", done)
+	}
+	if h.Stalls() != 2 {
+		t.Fatalf("Stalls() = %d, want 2", h.Stalls())
+	}
+}
+
+func TestStallKeepsBusyAccounting(t *testing.T) {
+	// A stalled host with a resident job is busy, not idle: load and
+	// busy-time integrate through the stall window.
+	k := des.New()
+	h := NewHost(k, "sun", 1)
+	k.Spawn("a", func(p *des.Proc) { h.Compute(p, 1) })
+	k.At(0.5, func() { h.Stall(2) })
+	k.Run()
+	if !approx(h.BusyTime(), 3, 1e-9) {
+		t.Fatalf("BusyTime = %v, want 3 (stall included)", h.BusyTime())
+	}
+	if !approx(h.LoadIntegral(), 3, 1e-9) {
+		t.Fatalf("LoadIntegral = %v, want 3", h.LoadIntegral())
+	}
+}
+
+func TestStallOnIdleHostDelaysNextJob(t *testing.T) {
+	// A stall beginning while the host is idle delays work arriving
+	// mid-window.
+	k := des.New()
+	h := NewHost(k, "sun", 1)
+	k.At(0, func() { h.Stall(2) })
+	var done float64
+	k.Spawn("late", func(p *des.Proc) {
+		p.Delay(1)
+		h.Compute(p, 1)
+		done = p.Now()
+	})
+	k.Run()
+	if !approx(done, 3, 1e-9) {
+		t.Fatalf("finished at %v, want 3 (1 wait + 1 work after stall ends at 2)", done)
+	}
+	if h.Stalled() {
+		t.Fatal("host still stalled after window")
+	}
+}
+
+func TestStallValidation(t *testing.T) {
+	k := des.New()
+	h := NewHost(k, "sun", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative stall accepted")
+		}
+	}()
+	h.Stall(-1)
+}

@@ -1,6 +1,9 @@
 package emu
 
 import (
+	"errors"
+	"net"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -330,5 +333,222 @@ func TestMixtureSlowdownValidation(t *testing.T) {
 	}
 	if _, err := MixtureSlowdown(s, 0.1, []float64{1.5}); err == nil {
 		t.Fatal("fraction > 1 accepted")
+	}
+}
+
+// --- Robustness: ErrClosed, deadlines, retries, leak-freedom ---------------
+
+func TestLinkErrClosedAfterClose(t *testing.T) {
+	l, err := NewLink(1e6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(10); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send on closed link: err = %v, want ErrClosed", err)
+	}
+	if _, err := l.Dial(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Dial on closed link: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestConnSendAfterConnClose(t *testing.T) {
+	l, err := NewLink(1e6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	c, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal("second Close not idempotent:", err)
+	}
+	if err := c.Send(10); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send on closed conn: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestLinkOptionsValidation(t *testing.T) {
+	bad := []Options{
+		{SendTimeout: 0, MaxRetries: 1, RetryBase: time.Millisecond},
+		{SendTimeout: time.Second, MaxRetries: -1, RetryBase: time.Millisecond},
+		{SendTimeout: time.Second, MaxRetries: 1, RetryBase: 0},
+	}
+	for i, o := range bad {
+		if _, err := NewLinkOpts(1e6, 0, o); err == nil {
+			t.Fatalf("options %d accepted: %+v", i, o)
+		}
+	}
+}
+
+// TestKilledSinkBoundedDeadline kills the sink mid-run (listener and all
+// accepted connections torn down, link NOT marked closed) and checks a
+// sender fails within the bound implied by its deadline/retry budget
+// instead of blocking forever.
+func TestKilledSinkBoundedDeadline(t *testing.T) {
+	opts := Options{SendTimeout: 200 * time.Millisecond, MaxRetries: 2, RetryBase: 5 * time.Millisecond}
+	l, err := NewLinkOpts(1e6, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	c, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send(10); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the sink: close the listener and every accepted connection.
+	l.ln.Close()
+	l.mu.Lock()
+	sinkConns := make([]net.Conn, 0, len(l.conns))
+	for sc := range l.conns {
+		sinkConns = append(sinkConns, sc)
+	}
+	l.mu.Unlock()
+	for _, sc := range sinkConns {
+		sc.Close()
+	}
+	// Worst case: (retries+1) × (deadline + backoff) plus slack.
+	bound := time.Duration(opts.MaxRetries+1)*(opts.SendTimeout+100*time.Millisecond) + time.Second
+	start := time.Now()
+	err = c.Send(10)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Send succeeded against a killed sink")
+	}
+	if errors.Is(err, ErrClosed) {
+		t.Fatalf("Send reported ErrClosed for a killed (not closed) sink: %v", err)
+	}
+	if elapsed > bound {
+		t.Fatalf("Send took %v to fail, bound %v", elapsed, bound)
+	}
+}
+
+// TestStallSinkRetrySucceeds injects a sink-side ack stall longer than
+// the per-attempt deadline: the sender must time out, back off, re-dial,
+// and succeed once the stall clears.
+func TestStallSinkRetrySucceeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	opts := Options{SendTimeout: 60 * time.Millisecond, MaxRetries: 8, RetryBase: 20 * time.Millisecond}
+	l, err := NewLinkOpts(1e6, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	c, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	l.StallSink(150 * time.Millisecond)
+	if err := c.Send(10); err != nil {
+		t.Fatalf("Send did not survive a transient sink stall: %v", err)
+	}
+	if l.Retries() == 0 {
+		t.Fatal("stalled sink produced no retries")
+	}
+}
+
+// TestLinkCloseNoGoroutineLeak verifies Close reaps the sink's handler
+// goroutines even with live connections (run under -race in CI).
+func TestLinkCloseNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		l, err := NewLink(1e6, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var conns []*Conn
+		for j := 0; j < 4; j++ {
+			c, err := l.Dial()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Send(16); err != nil {
+				t.Fatal(err)
+			}
+			conns = append(conns, c)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after close", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSendConcurrentWithStall checks one stalled sender cannot block the
+// others forever: the wire lock is released before network I/O, so a
+// sender waiting on a dead socket holds nothing shared.
+func TestSendConcurrentWithStall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	opts := Options{SendTimeout: 300 * time.Millisecond, MaxRetries: 1, RetryBase: 5 * time.Millisecond}
+	l, err := NewLinkOpts(1e6, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := l.Dial()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 5; j++ {
+				if err := c.Send(50); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}()
+	}
+	l.StallSink(100 * time.Millisecond)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("concurrent senders wedged behind a stalled sink")
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("sender %d: %v", i, err)
+		}
 	}
 }

@@ -5,41 +5,104 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
 )
 
+// ErrClosed is returned by operations on a closed link or connection.
+var ErrClosed = errors.New("emu: link closed")
+
+// Options bound how long a sender may hang on a misbehaving sink.
+type Options struct {
+	// SendTimeout is the per-attempt deadline covering the TCP write and
+	// the acknowledgement read.
+	SendTimeout time.Duration
+	// MaxRetries is the number of additional attempts after the first
+	// fails; each retry re-dials the sink.
+	MaxRetries int
+	// RetryBase is the first retry backoff; it doubles per attempt, with
+	// ±50% jitter so concurrent retriers do not stampede in lockstep.
+	RetryBase time.Duration
+}
+
+// DefaultOptions returns the production defaults: generous enough for a
+// loaded CI machine, bounded enough that a dead sink fails a sender in
+// well under ten seconds.
+func DefaultOptions() Options {
+	return Options{
+		SendTimeout: 2 * time.Second,
+		MaxRetries:  2,
+		RetryBase:   5 * time.Millisecond,
+	}
+}
+
+func (o Options) validate() error {
+	if o.SendTimeout <= 0 {
+		return fmt.Errorf("emu: send timeout %v must be positive", o.SendTimeout)
+	}
+	if o.MaxRetries < 0 {
+		return fmt.Errorf("emu: negative retry count %d", o.MaxRetries)
+	}
+	if o.RetryBase <= 0 {
+		return fmt.Errorf("emu: retry base %v must be positive", o.RetryBase)
+	}
+	return nil
+}
+
 // Link emulates the private Ethernet with real loopback TCP: a sink
 // server acknowledges framed messages, and a shared wire lock paces
 // each transmission to startup + words/bandwidth, so concurrent senders
 // experience genuine FCFS contention — the distributed-contention half
-// of the live emulation.
+// of the live emulation. Senders carry read/write deadlines and bounded
+// exponential-backoff retries with re-dial, so a hung or killed sink
+// fails them within a bounded deadline instead of blocking forever.
 type Link struct {
 	bandwidth float64       // words per second
 	perMsg    time.Duration // startup per message
+	opts      Options
 
 	ln   net.Listener
 	wire sync.Mutex
 
-	mu     sync.Mutex
-	sent   int
-	closed bool
+	mu         sync.Mutex
+	sent       int
+	retries    int
+	closed     bool
+	conns      map[net.Conn]struct{} // accepted sink-side connections
+	stallUntil time.Time             // sink fault injection: ack stall
+	rng        *rand.Rand            // retry jitter
 }
 
-// NewLink starts the sink server on a loopback port.
+// NewLink starts the sink server on a loopback port with DefaultOptions.
 func NewLink(bandwidthWords float64, perMsg time.Duration) (*Link, error) {
+	return NewLinkOpts(bandwidthWords, perMsg, DefaultOptions())
+}
+
+// NewLinkOpts is NewLink with explicit timeout/retry options.
+func NewLinkOpts(bandwidthWords float64, perMsg time.Duration, opts Options) (*Link, error) {
 	if bandwidthWords <= 0 {
 		return nil, fmt.Errorf("emu: bandwidth %v must be positive", bandwidthWords)
 	}
 	if perMsg < 0 {
 		return nil, fmt.Errorf("emu: negative per-message startup %v", perMsg)
 	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("emu: listen: %w", err)
 	}
-	l := &Link{bandwidth: bandwidthWords, perMsg: perMsg, ln: ln}
+	l := &Link{
+		bandwidth: bandwidthWords,
+		perMsg:    perMsg,
+		opts:      opts,
+		ln:        ln,
+		conns:     map[net.Conn]struct{}{},
+		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
 	go l.serve()
 	return l, nil
 }
@@ -54,18 +117,56 @@ func (l *Link) Messages() int {
 	return l.sent
 }
 
+// Retries reports the number of sender retry attempts across the link.
+func (l *Link) Retries() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.retries
+}
+
+// StallSink injects a sink-side fault: until d from now, the sink
+// delays acknowledgements, so sender ack deadlines trip — the live
+// counterpart of the simulator's fault schedules, used to exercise the
+// timeout/retry path against real TCP.
+func (l *Link) StallSink(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if until := time.Now().Add(d); until.After(l.stallUntil) {
+		l.stallUntil = until
+	}
+}
+
+func (l *Link) isClosed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closed
+}
+
 func (l *Link) serve() {
 	for {
 		conn, err := l.ln.Accept()
 		if err != nil {
 			return // listener closed
 		}
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			conn.Close()
+			return
+		}
+		l.conns[conn] = struct{}{}
+		l.mu.Unlock()
 		go l.handle(conn)
 	}
 }
 
 func (l *Link) handle(conn net.Conn) {
-	defer conn.Close()
+	defer func() {
+		conn.Close()
+		l.mu.Lock()
+		delete(l.conns, conn)
+		l.mu.Unlock()
+	}()
 	var hdr [4]byte
 	buf := make([]byte, 64*1024)
 	for {
@@ -86,7 +187,11 @@ func (l *Link) handle(conn net.Conn) {
 		}
 		l.mu.Lock()
 		l.sent++
+		stall := time.Until(l.stallUntil)
 		l.mu.Unlock()
+		if stall > 0 {
+			time.Sleep(stall)
+		}
 		if _, err := conn.Write([]byte{1}); err != nil { // ack
 			return
 		}
@@ -96,47 +201,168 @@ func (l *Link) handle(conn net.Conn) {
 // Conn is one application's connection to the sink.
 type Conn struct {
 	link *Link
-	c    net.Conn
-	ack  [1]byte
+
+	mu     sync.Mutex
+	c      net.Conn
+	closed bool
+	ack    [1]byte
 }
 
-// Dial opens a sender connection.
+// Dial opens a sender connection. On a closed link it returns ErrClosed.
 func (l *Link) Dial() (*Conn, error) {
-	c, err := net.Dial("tcp", l.Addr())
+	c, err := l.dialRaw()
 	if err != nil {
-		return nil, fmt.Errorf("emu: dial: %w", err)
+		return nil, err
 	}
 	return &Conn{link: l, c: c}, nil
 }
 
+func (l *Link) dialRaw() (net.Conn, error) {
+	if l.isClosed() {
+		return nil, fmt.Errorf("emu: dial: %w", ErrClosed)
+	}
+	c, err := net.DialTimeout("tcp", l.Addr(), l.opts.SendTimeout)
+	if err != nil {
+		if l.isClosed() {
+			return nil, fmt.Errorf("emu: dial: %w", ErrClosed)
+		}
+		return nil, fmt.Errorf("emu: dial: %w", err)
+	}
+	return c, nil
+}
+
+// jitteredBackoff returns RetryBase·2^attempt with ±50% jitter.
+func (l *Link) jitteredBackoff(attempt int) time.Duration {
+	base := l.opts.RetryBase << attempt
+	l.mu.Lock()
+	f := 0.5 + l.rng.Float64() // [0.5, 1.5)
+	l.mu.Unlock()
+	return time.Duration(float64(base) * f)
+}
+
 // Send transmits one framed message of the given word count and waits
-// for the acknowledgement. The shared wire lock is held for the paced
-// transmission time, so concurrent senders serialize FCFS.
+// for the acknowledgement. The shared wire lock is held only for the
+// paced transmission time — the TCP write happens outside it, so one
+// stalled sender socket cannot serialize-block every other sender. A
+// failed write or ack is retried with exponential backoff and a fresh
+// connection, up to Options.MaxRetries; on a closed link or connection
+// Send returns ErrClosed.
 func (c *Conn) Send(words int) error {
 	if words < 0 {
 		return fmt.Errorf("emu: negative message size %d", words)
 	}
-	tx := c.link.perMsg + time.Duration(float64(words)/c.link.bandwidth*float64(time.Second))
-
-	c.link.wire.Lock()
-	time.Sleep(tx)
+	l := c.link
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed || l.isClosed() {
+		return fmt.Errorf("emu: send: %w", ErrClosed)
+	}
+	tx := l.perMsg + time.Duration(float64(words)/l.bandwidth*float64(time.Second))
 	payload := make([]byte, 4+words*4)
 	binary.BigEndian.PutUint32(payload[:4], uint32(words))
-	_, err := c.c.Write(payload)
-	c.link.wire.Unlock()
-	if err != nil {
+
+	var lastErr error
+	for attempt := 0; attempt <= l.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			l.mu.Lock()
+			l.retries++
+			l.mu.Unlock()
+			time.Sleep(l.jitteredBackoff(attempt - 1))
+			if err := c.redial(); err != nil {
+				lastErr = err
+				if errors.Is(err, ErrClosed) {
+					return fmt.Errorf("emu: send: %w", ErrClosed)
+				}
+				continue
+			}
+		}
+		// Pace on the shared wire: occupancy is the contention resource,
+		// so every (re)transmission pays it, FCFS with other senders.
+		l.wire.Lock()
+		time.Sleep(tx)
+		l.wire.Unlock()
+		if err := c.writeAndAck(payload); err != nil {
+			lastErr = err
+			if l.isClosed() {
+				return fmt.Errorf("emu: send: %w", ErrClosed)
+			}
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("emu: send failed after %d attempts: %w", l.opts.MaxRetries+1, lastErr)
+}
+
+// writeAndAck performs one framed write + ack read under the
+// per-attempt deadline.
+func (c *Conn) writeAndAck(payload []byte) error {
+	c.mu.Lock()
+	conn := c.c
+	closed := c.closed
+	c.mu.Unlock()
+	if closed || conn == nil {
+		return fmt.Errorf("emu: send: %w", ErrClosed)
+	}
+	deadline := time.Now().Add(c.link.opts.SendTimeout)
+	if err := conn.SetDeadline(deadline); err != nil {
+		return fmt.Errorf("emu: deadline: %w", err)
+	}
+	if _, err := conn.Write(payload); err != nil {
 		return fmt.Errorf("emu: send: %w", err)
 	}
-	if _, err := io.ReadFull(c.c, c.ack[:]); err != nil {
+	if _, err := io.ReadFull(conn, c.ack[:]); err != nil {
 		return fmt.Errorf("emu: ack: %w", err)
 	}
 	return nil
 }
 
-// Close closes the sender connection.
-func (c *Conn) Close() error { return c.c.Close() }
+// redial replaces the underlying TCP connection after a failed attempt.
+func (c *Conn) redial() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("emu: redial: %w", ErrClosed)
+	}
+	old := c.c
+	c.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	nc, err := c.link.dialRaw()
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		nc.Close()
+		return fmt.Errorf("emu: redial: %w", ErrClosed)
+	}
+	c.c = nc
+	c.mu.Unlock()
+	return nil
+}
 
-// Close shuts the sink down.
+// Close closes the sender connection. Subsequent Sends return ErrClosed.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conn := c.c
+	c.c = nil
+	c.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}
+
+// Close shuts the sink down, closing the listener and every accepted
+// connection so in-flight senders fail fast instead of leaking.
 func (l *Link) Close() error {
 	l.mu.Lock()
 	if l.closed {
@@ -144,9 +370,13 @@ func (l *Link) Close() error {
 		return nil
 	}
 	l.closed = true
+	conns := make([]net.Conn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
 	l.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
 	return l.ln.Close()
 }
-
-// ErrClosed is returned by operations on a closed link.
-var ErrClosed = errors.New("emu: link closed")

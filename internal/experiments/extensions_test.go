@@ -71,7 +71,7 @@ func TestExtensionsAggregator(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"synthetic", "iochar", "phased", "multimachine", "offload"}
+	want := []string{"synthetic", "iochar", "phased", "multimachine", "offload", "faulttolerance"}
 	if len(results) != len(want) {
 		t.Fatalf("got %d results, want %d", len(results), len(want))
 	}
@@ -115,5 +115,48 @@ func TestOffloadDecisionAccuracy(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("decisions not all correct: %v", r.Notes)
+	}
+}
+
+func TestFaultToleranceSmoothDegradation(t *testing.T) {
+	r, err := FaultTolerance(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	act, ok := r.seriesByName("actual")
+	if !ok {
+		t.Fatal("no actual series")
+	}
+	errs, ok := r.seriesByName("model err %")
+	if !ok {
+		t.Fatal("no error series")
+	}
+	// The clean point must be the paper-accuracy regime; each added
+	// fault intensity must slow the burst further, growing the
+	// fault-blind model's error monotonically — degradation, not
+	// collapse.
+	if errs.Y[0] > 10 {
+		t.Fatalf("clean-run model error %.1f%%, want < 10%%", errs.Y[0])
+	}
+	for i := 1; i < len(act.Y); i++ {
+		if act.Y[i] <= act.Y[i-1] {
+			t.Fatalf("rate %v: elapsed %.4g not above %.4g at rate %v",
+				act.X[i], act.Y[i], act.Y[i-1], act.X[i-1])
+		}
+		if errs.Y[i] <= errs.Y[i-1] {
+			t.Fatalf("rate %v: model error %.1f%% not above %.1f%%",
+				errs.X[i], errs.Y[i], errs.Y[i-1])
+		}
+	}
+	// The conservative p+1 fallback must bound the faulty measurements
+	// from above across the sweep — pessimistic, never optimistic.
+	deg, ok := r.seriesByName("degraded(p+1)")
+	if !ok {
+		t.Fatal("no degraded series")
+	}
+	for i := range act.Y {
+		if act.Y[i] > deg.Y[i] {
+			t.Fatalf("rate %v: actual %.4g exceeds degraded bound %.4g", act.X[i], act.Y[i], deg.Y[i])
+		}
 	}
 }

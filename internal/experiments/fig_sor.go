@@ -193,6 +193,7 @@ func Extensions(env *Env) ([]Result, error) {
 		{"phased", func() (Result, error) { return PhasedContention(env) }},
 		{"multimachine", func() (Result, error) { return MultiMachine(env) }},
 		{"offload", func() (Result, error) { return OffloadDecision(env) }},
+		{"faulttolerance", func() (Result, error) { return FaultTolerance(env) }},
 	}
 	out := make([]Result, 0, len(drivers))
 	for _, d := range drivers {

@@ -85,6 +85,19 @@ type EndpointConfig struct {
 	Forward func(words int, deliver func())
 }
 
+// maxTxAttempts bounds retransmission: after this many lost attempts the
+// transfer is delivered anyway, so a pathological fault schedule cannot
+// livelock a sender. Each lost attempt still pays full wire time plus a
+// doubling retransmit backoff.
+const maxTxAttempts = 16
+
+// FaultFunc decides, per transmission attempt, whether the attempt is
+// lost on the wire (dropped or corrupted beyond recovery). A lost
+// attempt pays its full wire occupancy and is retransmitted after a
+// paced backoff. Installed by the fault-injection subsystem; nil means a
+// perfect wire.
+type FaultFunc func(words int) bool
+
 // Link is a half-duplex point-to-point wire between two endpoints.
 type Link struct {
 	k    *des.Kernel
@@ -95,6 +108,9 @@ type Link struct {
 	busyTime   float64
 	messages   int
 	wordsMoved int
+
+	fault       FaultFunc
+	retransmits int
 }
 
 // Endpoint is one side of a link; applications send from and receive at
@@ -150,6 +166,15 @@ func (l *Link) Messages() int { return l.messages }
 // WordsMoved reports the total payload words transmitted.
 func (l *Link) WordsMoved() int { return l.wordsMoved }
 
+// SetFaultFunc installs (or, with nil, removes) the per-attempt fault
+// decision. Call from simulation context only; the kernel serializes all
+// senders, so no further synchronization is needed.
+func (l *Link) SetFaultFunc(f FaultFunc) { l.fault = f }
+
+// Retransmits reports the number of lost transmission attempts that were
+// retransmitted.
+func (l *Link) Retransmits() int { return l.retransmits }
+
 // Utilization reports wire busy fraction since t=0.
 func (l *Link) Utilization() float64 {
 	if now := l.k.Now(); now > 0 {
@@ -194,15 +219,28 @@ func (e *Endpoint) Send(p *des.Proc, srcPort, dstPort string, words int, payload
 		e.cfg.Host.Compute(p, work)
 	}
 
-	// 2. Exclusive wire occupancy, FCFS.
-	l.wire.Acquire(p)
-	msg.Queued = p.Now()
-	wt := l.WireTime(words)
-	p.Delay(wt)
-	l.busyTime += wt
+	// 2. Exclusive wire occupancy, FCFS. A lost attempt (drop or
+	// corruption injected by the fault subsystem) pays full wire time,
+	// waits a doubling retransmit backoff off the wire, and retries.
+	backoff := l.cfg.PerPacket
+	for attempt := 1; ; attempt++ {
+		l.wire.Acquire(p)
+		if attempt == 1 {
+			msg.Queued = p.Now()
+		}
+		wt := l.WireTime(words)
+		p.Delay(wt)
+		l.busyTime += wt
+		l.wire.Release()
+		if l.fault == nil || attempt >= maxTxAttempts || !l.fault(words) {
+			break
+		}
+		l.retransmits++
+		p.Delay(backoff)
+		backoff *= 2
+	}
 	l.messages++
 	l.wordsMoved += words
-	l.wire.Release()
 
 	// 3. Delivery to the peer's inbox (through the Forward hook when the
 	// service node relays it). Receive-side conversion is charged in

@@ -253,3 +253,62 @@ func TestForwardHookDelaysDelivery(t *testing.T) {
 		t.Fatalf("arrival at %v, want 3 (wire 1 + forward 2)", arrived)
 	}
 }
+
+func TestFaultFuncForcesRetransmit(t *testing.T) {
+	// Dropping exactly the first attempt of each message: every send
+	// pays one extra wire time plus one PerPacket backoff.
+	k := des.New()
+	l, a, b := MustNew(k, basicCfg(), EndpointConfig{Name: "sun"}, EndpointConfig{Name: "mpp"})
+	attempt := 0
+	l.SetFaultFunc(func(words int) bool {
+		attempt++
+		return attempt == 1
+	})
+	var arrived float64
+	k.Spawn("recv", func(p *des.Proc) { b.Recv(p, "x"); arrived = p.Now() })
+	k.Spawn("send", func(p *des.Proc) { a.Send(p, "x", "x", 100, nil) })
+	k.Run()
+	wire := l.WireTime(100)
+	// Two paced transmissions plus the first backoff (= PerPacket).
+	want := 2*wire + 0.001
+	if !approx(arrived, want, 1e-9) {
+		t.Fatalf("arrived at %v, want %v (1 retransmit)", arrived, want)
+	}
+	if l.Retransmits() != 1 {
+		t.Fatalf("Retransmits = %d, want 1", l.Retransmits())
+	}
+	// Both attempts occupied the wire.
+	if got, want := l.BusyTime(), 2*wire; !approx(got, want, 1e-9) {
+		t.Fatalf("BusyTime = %v, want %v", got, want)
+	}
+}
+
+func TestFaultFuncAttemptsAreBounded(t *testing.T) {
+	// A wire that always faults must not livelock: the sender gives up
+	// retransmitting after maxTxAttempts and delivers anyway (transport
+	// gives up on reliability, the simulation stays live).
+	k := des.New()
+	l, a, b := MustNew(k, basicCfg(), EndpointConfig{Name: "sun"}, EndpointConfig{Name: "mpp"})
+	l.SetFaultFunc(func(words int) bool { return true })
+	delivered := false
+	k.Spawn("recv", func(p *des.Proc) { b.Recv(p, "x"); delivered = true })
+	k.Spawn("send", func(p *des.Proc) { a.Send(p, "x", "x", 10, nil) })
+	k.Run()
+	if !delivered {
+		t.Fatal("message never delivered under a permanently faulty wire")
+	}
+	if l.Retransmits() != maxTxAttempts-1 {
+		t.Fatalf("Retransmits = %d, want %d", l.Retransmits(), maxTxAttempts-1)
+	}
+}
+
+func TestFaultFuncNilIsClean(t *testing.T) {
+	k := des.New()
+	l, a, b := MustNew(k, basicCfg(), EndpointConfig{Name: "sun"}, EndpointConfig{Name: "mpp"})
+	k.Spawn("recv", func(p *des.Proc) { b.Recv(p, "x") })
+	k.Spawn("send", func(p *des.Proc) { a.Send(p, "x", "x", 10, nil) })
+	k.Run()
+	if l.Retransmits() != 0 {
+		t.Fatalf("Retransmits = %d on a clean wire", l.Retransmits())
+	}
+}

@@ -35,6 +35,9 @@ type Monitor struct {
 	interval float64
 	samples  []Sample
 	maxKeep  int
+
+	loss    func() bool
+	dropped int
 }
 
 // New creates a monitor sampling every interval seconds, keeping at
@@ -60,8 +63,22 @@ func (m *Monitor) Start() {
 	})
 }
 
+// SetLossFunc installs a sample-loss decision: when f returns true the
+// scheduled sample is discarded, leaving a gap in the window. Because the
+// counters are cumulative, estimates over gappy windows stay exact for
+// utilizations and averages — the monitor degrades, it does not lie.
+// Installed by the fault-injection subsystem; nil means lossless.
+func (m *Monitor) SetLossFunc(f func() bool) { m.loss = f }
+
+// Dropped reports the number of samples lost to the loss function.
+func (m *Monitor) Dropped() int { return m.dropped }
+
 // record takes one sample immediately.
 func (m *Monitor) record() {
+	if m.loss != nil && m.loss() {
+		m.dropped++
+		return
+	}
 	s := Sample{
 		At:           m.sp.K.Now(),
 		HostBusy:     m.sp.Host.BusyTime(),
@@ -106,9 +123,17 @@ type Estimate struct {
 // requested window.
 var ErrInsufficientData = errors.New("monitor: insufficient samples")
 
+// ErrInvalidWindow is returned for a non-positive or NaN window.
+var ErrInvalidWindow = errors.New("monitor: invalid window")
+
 // EstimateWindow derives workload estimates from the samples within the
-// last `window` seconds.
+// last `window` seconds. A window longer than the retained history falls
+// back to the oldest retained sample; gaps from dropped samples are
+// harmless because the counters are cumulative.
 func (m *Monitor) EstimateWindow(window float64) (Estimate, error) {
+	if window <= 0 || math.IsNaN(window) {
+		return Estimate{}, fmt.Errorf("%w: %v", ErrInvalidWindow, window)
+	}
 	if len(m.samples) < 2 {
 		return Estimate{}, ErrInsufficientData
 	}

@@ -186,3 +186,87 @@ func TestContendersExcludesSelf(t *testing.T) {
 		t.Fatalf("Contenders(5) = %d, want 0", got)
 	}
 }
+
+func TestEstimateWindowValidation(t *testing.T) {
+	k, sp := newSP(t)
+	m, err := New(sp, 0.1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	k.RunUntil(1)
+	for _, w := range []float64{0, -1, math.NaN()} {
+		if _, err := m.EstimateWindow(w); !errors.Is(err, ErrInvalidWindow) {
+			t.Fatalf("window %v: err = %v, want ErrInvalidWindow", w, err)
+		}
+	}
+}
+
+func TestEstimateWindowLargerThanHistory(t *testing.T) {
+	// maxKeep 5 at 0.1s spacing retains ~0.4s; asking for a 100s window
+	// must fall back to the oldest retained sample, not fail.
+	k, sp := newSP(t)
+	m, err := New(sp, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload.SpawnCPUHog(sp, "hog")
+	m.Start()
+	k.RunUntil(3)
+	est, err := m.EstimateWindow(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Window <= 0 || est.Window > 0.5 {
+		t.Fatalf("window %v, want the ~0.4s of retained history", est.Window)
+	}
+	if est.HostUtilization < 0.99 {
+		t.Fatalf("utilization %v under a CPU hog", est.HostUtilization)
+	}
+}
+
+func TestEstimateWindowZeroSpan(t *testing.T) {
+	// Two samples at the same instant: zero span is insufficient data,
+	// not a division by zero.
+	k, sp := newSP(t)
+	m, err := New(sp, 0.1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.record()
+	m.record()
+	_ = k
+	if _, err := m.EstimateWindow(1); !errors.Is(err, ErrInsufficientData) {
+		t.Fatalf("err = %v, want ErrInsufficientData on zero span", err)
+	}
+}
+
+func TestLossFuncDropsSamplesButEstimatesSurvive(t *testing.T) {
+	k, sp := newSP(t)
+	m, err := New(sp, 0.1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload.SpawnCPUHog(sp, "hog")
+	n := 0
+	m.SetLossFunc(func() bool {
+		n++
+		return n%2 == 0 // every other sample lost
+	})
+	m.Start()
+	k.RunUntil(5)
+	if m.Dropped() == 0 {
+		t.Fatal("no samples dropped")
+	}
+	if len(m.Samples())+m.Dropped() != n {
+		t.Fatalf("samples %d + dropped %d != attempts %d", len(m.Samples()), m.Dropped(), n)
+	}
+	// Cumulative counters keep gappy-window estimates exact.
+	est, err := m.EstimateWindow(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.HostUtilization < 0.99 {
+		t.Fatalf("utilization %v under a CPU hog with sample loss", est.HostUtilization)
+	}
+}

@@ -62,7 +62,23 @@ type Config struct {
 	// Backfill admits queued requests out of order when they fit; off,
 	// the queue is strict FCFS.
 	Backfill bool
+	// MaxQueue bounds the admission queue: a partition request arriving
+	// with MaxQueue requests already parked is rejected with ErrQueueFull
+	// instead of parking forever. 0 = unbounded (the seed behavior).
+	MaxQueue int
+	// SubmitTimeout bounds the virtual time a Submit may spend parked in
+	// the admission queue; on expiry the request is withdrawn and Submit
+	// returns ErrSubmitTimeout. 0 = wait forever.
+	SubmitTimeout float64
 }
+
+// ErrQueueFull is returned when the bounded admission queue is at
+// capacity — explicit rejection instead of unbounded parking.
+var ErrQueueFull = errors.New("rm: admission queue full")
+
+// ErrSubmitTimeout is returned when a queued partition request is not
+// granted within Config.SubmitTimeout of virtual time.
+var ErrSubmitTimeout = errors.New("rm: submit timed out in admission queue")
 
 // Manager is the resource manager.
 type Manager struct {
@@ -85,6 +101,7 @@ type pending struct {
 	enqueued float64
 	granted  *mesh.Partition
 	err      error
+	timer    *des.Event // submit-timeout event, canceled on grant
 }
 
 // Running is an admitted application.
@@ -132,13 +149,24 @@ func (m *Manager) Submit(p *des.Proc, desc AppDescriptor) (*Running, error) {
 			return nil, err
 		}
 		if part == nil {
-			// Queue and park until a release grants the request.
+			// Queue and park until a release grants the request, the
+			// bounded queue rejects it, or the submit timeout expires.
+			if m.cfg.MaxQueue > 0 && len(m.queue) >= m.cfg.MaxQueue {
+				m.rejected++
+				return nil, fmt.Errorf("rm: %q: %w (depth %d)", desc.Name, ErrQueueFull, len(m.queue))
+			}
 			pend := &pending{desc: desc, proc: p, enqueued: p.Now()}
+			if m.cfg.SubmitTimeout > 0 {
+				pend.timer = m.k.After(m.cfg.SubmitTimeout, func() { m.expire(pend) })
+			}
 			m.queue = append(m.queue, pend)
 			if len(m.queue) > m.maxQueueLen {
 				m.maxQueueLen = len(m.queue)
 			}
 			p.Park()
+			if pend.timer != nil {
+				m.k.Cancel(pend.timer)
+			}
 			if pend.err != nil {
 				return nil, pend.err
 			}
@@ -228,6 +256,21 @@ func (r *Running) Release() error {
 	return nil
 }
 
+// expire withdraws a still-queued request whose submit timeout fired.
+// A request already granted or failed (and merely not yet resumed) is
+// left alone.
+func (m *Manager) expire(pend *pending) {
+	for i, q := range m.queue {
+		if q == pend {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			pend.err = fmt.Errorf("rm: %q: %w after %.4gs", pend.desc.Name, ErrSubmitTimeout, m.cfg.SubmitTimeout)
+			m.rejected++
+			pend.proc.Resume()
+			return
+		}
+	}
+}
+
 // drainQueue grants queued requests in order; with backfill enabled,
 // any request that fits is granted, otherwise only a prefix.
 func (m *Manager) drainQueue() {
@@ -298,6 +341,10 @@ func (m *Manager) Queued() int { return len(m.queue) }
 
 // Admitted reports the total number of admissions.
 func (m *Manager) Admitted() int { return m.admitted }
+
+// Rejected reports the total number of explicit rejections (oversized
+// requests, full queue, submit timeouts).
+func (m *Manager) Rejected() int { return m.rejected }
 
 // MaxQueueLen reports the peak queue length.
 func (m *Manager) MaxQueueLen() int { return m.maxQueueLen }

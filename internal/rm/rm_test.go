@@ -1,6 +1,7 @@
 package rm
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -298,5 +299,122 @@ func TestNewRejectsBadTables(t *testing.T) {
 	k := des.New()
 	if _, err := New(k, Config{Tables: core.DelayTables{CompOnComm: []float64{-1}}}); err == nil {
 		t.Fatal("invalid tables accepted")
+	}
+}
+
+func TestBoundedQueueRejectsWhenFull(t *testing.T) {
+	k := des.New()
+	mpp := mesh.MustNew(k, mesh.Config{Name: "p", Nodes: 16, NodeSpeed: 1, NXBeta: 1e6})
+	m, err := New(k, Config{Tables: testTables(), MPP: mpp, MaxQueue: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// hog takes the whole machine; q1 parks; q2 must be rejected.
+	k.Spawn("hog", func(p *des.Proc) {
+		r, err := m.Submit(p, AppDescriptor{Name: "hog", Nodes: 16})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Delay(10)
+		r.Release()
+	})
+	k.Spawn("q1", func(p *des.Proc) {
+		p.Delay(1)
+		if _, err := m.Submit(p, AppDescriptor{Name: "q1", Nodes: 4}); err != nil {
+			t.Errorf("q1: %v", err)
+		}
+	})
+	rejectedAt := -1.0
+	k.Spawn("q2", func(p *des.Proc) {
+		p.Delay(2)
+		_, err := m.Submit(p, AppDescriptor{Name: "q2", Nodes: 4})
+		if !errors.Is(err, ErrQueueFull) {
+			t.Errorf("q2: err = %v, want ErrQueueFull", err)
+		}
+		rejectedAt = p.Now()
+	})
+	k.Run()
+	if rejectedAt != 2 {
+		t.Fatalf("rejection at %v, want immediate (t=2)", rejectedAt)
+	}
+	if m.Rejected() != 1 {
+		t.Fatalf("Rejected = %d, want 1", m.Rejected())
+	}
+}
+
+func TestSubmitTimeoutExpiresQueuedRequest(t *testing.T) {
+	k := des.New()
+	mpp := mesh.MustNew(k, mesh.Config{Name: "p", Nodes: 16, NodeSpeed: 1, NXBeta: 1e6})
+	m, err := New(k, Config{Tables: testTables(), MPP: mpp, SubmitTimeout: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Spawn("hog", func(p *des.Proc) {
+		r, err := m.Submit(p, AppDescriptor{Name: "hog", Nodes: 16})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Delay(100)
+		r.Release()
+	})
+	timedOutAt := -1.0
+	k.Spawn("q", func(p *des.Proc) {
+		p.Delay(1)
+		_, err := m.Submit(p, AppDescriptor{Name: "q", Nodes: 4})
+		if !errors.Is(err, ErrSubmitTimeout) {
+			t.Errorf("err = %v, want ErrSubmitTimeout", err)
+		}
+		timedOutAt = p.Now()
+	})
+	k.Run()
+	if timedOutAt != 4 {
+		t.Fatalf("timed out at %v, want 4 (enqueued 1 + timeout 3)", timedOutAt)
+	}
+	if m.Queued() != 0 {
+		t.Fatalf("Queued = %d after expiry", m.Queued())
+	}
+	if m.Rejected() != 1 {
+		t.Fatalf("Rejected = %d, want 1", m.Rejected())
+	}
+}
+
+func TestSubmitTimeoutNotFiredOnGrant(t *testing.T) {
+	// The partition frees before the timeout: the request is granted
+	// and the expiry timer must not fire later.
+	k := des.New()
+	mpp := mesh.MustNew(k, mesh.Config{Name: "p", Nodes: 16, NodeSpeed: 1, NXBeta: 1e6})
+	m, err := New(k, Config{Tables: testTables(), MPP: mpp, SubmitTimeout: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Spawn("hog", func(p *des.Proc) {
+		r, err := m.Submit(p, AppDescriptor{Name: "hog", Nodes: 16})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Delay(2)
+		r.Release()
+	})
+	grantedAt := -1.0
+	k.Spawn("q", func(p *des.Proc) {
+		p.Delay(1)
+		r, err := m.Submit(p, AppDescriptor{Name: "q", Nodes: 4})
+		if err != nil {
+			t.Errorf("granted submit errored: %v", err)
+			return
+		}
+		grantedAt = p.Now()
+		p.Delay(10) // outlive the timeout horizon
+		r.Release()
+	})
+	k.Run()
+	if grantedAt != 2 {
+		t.Fatalf("granted at %v, want 2", grantedAt)
+	}
+	if m.Rejected() != 0 {
+		t.Fatalf("Rejected = %d, want 0", m.Rejected())
 	}
 }

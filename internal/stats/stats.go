@@ -41,6 +41,24 @@ func Variance(xs []float64) float64 {
 // StdDev returns the population standard deviation of xs.
 func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
+// MinMax returns the minimum and maximum of xs, or an error on an empty
+// slice — the non-panicking form for callers fed from external data.
+func MinMax(xs []float64) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, errors.New("stats: MinMax of empty slice")
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi, nil
+}
+
 // Min returns the minimum of xs; it panics on an empty slice.
 func Min(xs []float64) float64 {
 	if len(xs) == 0 {

@@ -1,6 +1,9 @@
 package contention
 
 import (
+	"errors"
+	"fmt"
+
 	"contention/internal/calibrate"
 	"contention/internal/des"
 	"contention/internal/platform"
@@ -85,9 +88,23 @@ func SpawnCPUHog(sp *SunParagon, name string) { workload.SpawnCPUHog(sp, name) }
 func SpawnPingEcho(sp *SunParagon, port string) { workload.SpawnPingEcho(sp, port) }
 
 // PingPongBurst sends count messages of words each and waits for the
-// one-word reply, returning elapsed virtual time.
-func PingPongBurst(p *Proc, sp *SunParagon, port string, count, words int) float64 {
-	return workload.PingPongBurst(p, sp, port, count, words)
+// one-word reply, returning elapsed virtual time. Invalid arguments
+// (nil process or platform, count < 1, negative words) return an error
+// instead of panicking inside the simulation.
+func PingPongBurst(p *Proc, sp *SunParagon, port string, count, words int) (float64, error) {
+	if p == nil {
+		return 0, errors.New("contention: PingPongBurst with nil process")
+	}
+	if sp == nil {
+		return 0, errors.New("contention: PingPongBurst with nil platform")
+	}
+	if count < 1 {
+		return 0, fmt.Errorf("contention: burst count %d must be ≥ 1", count)
+	}
+	if words < 0 {
+		return 0, fmt.Errorf("contention: negative message size %d", words)
+	}
+	return workload.PingPongBurst(p, sp, port, count, words), nil
 }
 
 // Calibration suite (see internal/calibrate).

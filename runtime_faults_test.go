@@ -1,0 +1,60 @@
+package contention
+
+import "testing"
+
+// Smoke test for the fault-injection and degraded-prediction façade:
+// the re-exports must be usable without importing internal packages.
+func TestFacadeFaultInjection(t *testing.T) {
+	k := NewKernel()
+	sp, err := NewSunParagon(k, DefaultParagonParams(OneHop))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewFaultInjector(k, 42)
+	err = in.Arm(
+		LinkFaults{Link: sp.Link, DropProb: 0.3, Window: FaultWindow{Start: 0, End: 2}},
+		HostStalls{Host: sp.Host, MeanSpacing: 0.2, MeanDuration: 0.05},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SpawnPingEcho(sp, "x")
+	done := false
+	k.Spawn("b", func(p *Proc) {
+		if _, err := PingPongBurst(p, sp, "x", 100, 300); err != nil {
+			t.Error(err)
+		}
+		done = true
+		k.Stop()
+	})
+	k.Run()
+	if !done {
+		t.Fatal("burst did not complete")
+	}
+	if in.Count("") == 0 {
+		t.Fatal("no fault events logged")
+	}
+	var injected []InjectedFault = in.Log()
+	if len(injected) != in.Count("") {
+		t.Fatalf("Log has %d entries, Count says %d", len(injected), in.Count(""))
+	}
+}
+
+func TestFacadeDegradedPrediction(t *testing.T) {
+	p := NewPredictorLenient(Calibration{
+		ToBack: Uniform(0.5, 10),
+		ToHost: Uniform(0.5, 10),
+	})
+	cs := []Contender{{CommFraction: 0.5, MsgWords: 500}}
+	var pred Prediction
+	pred, err := p.PredictCommRobust(HostToBack, []DataSet{{N: 4, Words: 200}}, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred.Degraded || pred.Reason == "" {
+		t.Fatalf("table-less façade prediction not flagged: %+v", pred)
+	}
+	if got := WorstCaseSlowdown(cs); got != 2 {
+		t.Fatalf("WorstCaseSlowdown = %v, want 2", got)
+	}
+}
