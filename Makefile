@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench fmt
+.PHONY: all build vet test race check bench fmt fuzz calibration-roundtrip
 
 all: check
 
@@ -16,8 +16,28 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Short fuzz smoke over the numeric kernels: the piecewise fitter and
+# the Poisson-binomial distribution must never panic or emit non-finite
+# values on adversarial input.
+fuzz:
+	$(GO) test -run ^$$ -fuzz '^FuzzFitPiecewise$$' -fuzztime 5s ./internal/stats
+	$(GO) test -run ^$$ -fuzz '^FuzzPoissonBinomial$$' -fuzztime 5s ./internal/prob
+
+# Persistence gate: write a calibration envelope, verify it, then prove
+# damaged copies are rejected — a truncated file and a payload with one
+# value flipped (valid JSON, so only the checksum can catch it).
+calibration-roundtrip:
+	tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run ./cmd/calibrate -burst 50 -contenders 2 -save "$$tmp/cal.json" && \
+	$(GO) run ./cmd/calibrate -check "$$tmp/cal.json" && \
+	head -c 120 "$$tmp/cal.json" > "$$tmp/trunc.json" && \
+	! $(GO) run ./cmd/calibrate -check "$$tmp/trunc.json" 2>/dev/null && \
+	sed 's/1024/1023/' "$$tmp/cal.json" > "$$tmp/rot.json" && \
+	! $(GO) run ./cmd/calibrate -check "$$tmp/rot.json" 2>/dev/null && \
+	echo "calibration-roundtrip: OK"
+
 # The full local gate: everything CI would run.
-check: build vet race
+check: build vet race fuzz calibration-roundtrip
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ .

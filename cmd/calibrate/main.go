@@ -8,6 +8,8 @@
 //	calibrate                 # Sun/Paragon 1-HOP + Sun/CM2
 //	calibrate -mode 2hops
 //	calibrate -contenders 6 -burst 500
+//	calibrate -save cal.json  # persist a checksummed envelope atomically
+//	calibrate -check cal.json # verify a stored calibration's invariants
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"os"
 
 	"contention/internal/calibrate"
+	"contention/internal/caltrust"
 	"contention/internal/core"
 	"contention/internal/platform"
 )
@@ -25,8 +28,15 @@ func main() {
 	burst := flag.Int("burst", 200, "messages per ping-pong burst")
 	contenders := flag.Int("contenders", 4, "delay-table depth (max contenders)")
 	asJSON := flag.Bool("json", false, "emit the calibration as JSON (loadable with contention.LoadCalibration)")
+	check := flag.String("check", "", "verify a stored calibration file (integrity + invariants) and exit")
+	save := flag.String("save", "", "write the calibration atomically to FILE as a checksummed envelope")
+	repeats := flag.Int("repeats", 1, "measurements per calibration point (robust aggregation when > 1)")
 	flag.Parse()
 	defer exitOnPanic()
+
+	if *check != "" {
+		os.Exit(runCheck(*check))
+	}
 	if *burst < 1 {
 		fmt.Fprintf(os.Stderr, "-burst %d must be ≥ 1\n", *burst)
 		os.Exit(2)
@@ -47,15 +57,32 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *repeats < 1 {
+		fmt.Fprintf(os.Stderr, "-repeats %d must be ≥ 1\n", *repeats)
+		os.Exit(2)
+	}
+
 	params := platform.DefaultParagonParams(hop)
 	opts := calibrate.DefaultOptions(params)
 	opts.BurstCount = *burst
 	opts.MaxContenders = *contenders
+	opts.Repeats = *repeats
 
-	cal, err := calibrate.Run(opts)
+	cal, conf, err := calibrate.RunRobust(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "calibration failed:", err)
 		os.Exit(1)
+	}
+
+	if *save != "" {
+		meta := caltrust.Meta{Note: fmt.Sprintf("calibrate -mode %s -burst %d -contenders %d -repeats %d",
+			*mode, *burst, *contenders, *repeats)}
+		if err := caltrust.WriteFile(*save, cal, meta); err != nil {
+			fmt.Fprintln(os.Stderr, "saving calibration:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (schema %d, checksummed)\n", *save, caltrust.SchemaVersion)
+		return
 	}
 
 	if *asJSON {
@@ -76,6 +103,14 @@ func main() {
 	for _, j := range cal.Tables.JGrid() {
 		printTable(fmt.Sprintf("  delay^{i,j=%d}_comm (communicating apps → computation)", j),
 			cal.Tables.CommOnComp[j])
+	}
+
+	if conf.Repeats > 1 {
+		fmt.Printf("\nrobust estimation: %d repeats/point, %d outliers rejected, %g%% CIs\n",
+			conf.Repeats, conf.OutliersRejected, 100*conf.Level)
+		fmt.Printf("  sun→paragon small piece: α ∈ [%.6g, %.6g]  β ∈ [%.6g, %.6g]\n",
+			conf.ToBack.Small.Alpha.Lo, conf.ToBack.Small.Alpha.Hi,
+			conf.ToBack.Small.Beta.Lo, conf.ToBack.Small.Beta.Hi)
 	}
 
 	cm2, err := calibrate.CalibrateCM2(calibrate.DefaultCM2Options(platform.DefaultCM2Params()))
@@ -99,6 +134,31 @@ func printTable(label string, xs []float64) {
 		fmt.Printf(" i=%d:%.3f", i+1, v)
 	}
 	fmt.Println()
+}
+
+// runCheck loads a stored calibration, verifying envelope integrity
+// (schema, checksum) and the trust layer's physical invariants, and
+// reports PASS/FAIL. Returns the process exit code.
+func runCheck(path string) int {
+	cal, env, err := caltrust.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "FAIL:", err)
+		return 1
+	}
+	report := caltrust.Validate(cal, caltrust.DefaultCheckConfig())
+	for _, v := range report.Violations {
+		fmt.Fprintln(os.Stderr, " ", v.String())
+	}
+	if !report.OK() {
+		fmt.Fprintf(os.Stderr, "FAIL: %s: calibration violates model invariants\n", path)
+		return 1
+	}
+	note := ""
+	if env.Note != "" {
+		note = fmt.Sprintf(" (%s)", env.Note)
+	}
+	fmt.Printf("OK: %s: schema %d, checksum verified, invariants hold%s\n", path, env.Schema, note)
+	return 0
 }
 
 // exitOnPanic turns a stray panic from the internal packages into a

@@ -29,7 +29,8 @@ func main() {
 
 	ids := []string{"table1-2", "table3", "table4", "figure1", "figure2",
 		"figure3", "figure4", "figure5", "figure6", "figure7", "figure8",
-		"synthetic", "iochar", "phased", "multimachine", "offload", "faulttolerance"}
+		"synthetic", "iochar", "phased", "multimachine", "offload", "faulttolerance",
+		"caldrift"}
 	if *list {
 		for _, id := range ids {
 			fmt.Println(id)
@@ -49,7 +50,7 @@ func main() {
 		os.Exit(1)
 	}
 	wantExt := *extensions
-	if *only == "synthetic" || *only == "iochar" || *only == "phased" || *only == "multimachine" || *only == "offload" || *only == "faulttolerance" {
+	if *only == "synthetic" || *only == "iochar" || *only == "phased" || *only == "multimachine" || *only == "offload" || *only == "faulttolerance" || *only == "caldrift" {
 		wantExt = true
 	}
 	if wantExt {

@@ -39,6 +39,7 @@ import (
 	"io"
 	"math"
 
+	"contention/internal/caltrust"
 	"contention/internal/core"
 )
 
@@ -202,3 +203,31 @@ func PredictCommMulti(dcomm float64, target LinkID, cs []MultiContender, t Delay
 // Calibration.Save and validates it — letting a scheduler start from a
 // stored calibration instead of re-running the test suite.
 func LoadCalibration(r io.Reader) (Calibration, error) { return core.LoadCalibration(r) }
+
+// SaveCalibrationFile persists the calibration to path atomically as a
+// schema-versioned, checksummed envelope (see internal/caltrust). The
+// note is free-form provenance stored alongside the payload.
+func SaveCalibrationFile(path string, cal Calibration, note string) error {
+	return caltrust.WriteFile(path, cal, caltrust.Meta{Note: note})
+}
+
+// LoadCalibrationFile reads a calibration written by SaveCalibrationFile
+// (or legacy raw `calibrate -json` output), rejecting corrupt,
+// truncated, or incompatibly-versioned files with a descriptive error.
+func LoadCalibrationFile(path string) (Calibration, error) {
+	cal, _, err := caltrust.ReadFile(path)
+	return cal, err
+}
+
+// CheckCalibration runs the trust layer's strict invariant validation —
+// delay tables monotone in contender count, comm-model pieces
+// consistent at the breakpoint — beyond the structural checks of
+// Calibration.Validate. The returned error (nil when clean) is a
+// *ValidationReport listing every violation with its parameter path.
+func CheckCalibration(cal Calibration) error {
+	return caltrust.Validate(cal, caltrust.DefaultCheckConfig()).Err()
+}
+
+// ValidationReport is the structured multi-violation error produced by
+// CheckCalibration (recover it with errors.As).
+type ValidationReport = core.ValidationReport

@@ -1,7 +1,10 @@
 package contention_test
 
 import (
+	"errors"
 	"math"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"contention"
@@ -303,11 +306,11 @@ func TestFacadeExperimentEnv(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ext) != 6 {
-		t.Fatalf("got %d extension experiments, want 6", len(ext))
+	if len(ext) != 7 {
+		t.Fatalf("got %d extension experiments, want 7", len(ext))
 	}
-	if ext[len(ext)-1].ID != "faulttolerance" {
-		t.Fatalf("last extension %q, want faulttolerance", ext[len(ext)-1].ID)
+	if ext[len(ext)-1].ID != "caldrift" {
+		t.Fatalf("last extension %q, want caldrift", ext[len(ext)-1].ID)
 	}
 }
 
@@ -358,5 +361,47 @@ func TestFacadeRuntimeInfrastructure(t *testing.T) {
 	}
 	if mgr.Admitted() != 1 {
 		t.Fatalf("Admitted = %d", mgr.Admitted())
+	}
+}
+
+func TestFacadeCalibrationFileRoundtrip(t *testing.T) {
+	cal := facadeCalibration(t)
+	path := filepath.Join(t.TempDir(), "cal.json")
+	if err := contention.SaveCalibrationFile(path, cal, "facade test"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := contention.LoadCalibrationFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ToBack.Threshold != cal.ToBack.Threshold {
+		t.Fatalf("roundtrip threshold %d, want %d", got.ToBack.Threshold, cal.ToBack.Threshold)
+	}
+	if err := contention.CheckCalibration(got); err != nil {
+		t.Fatalf("calibrated artifact fails invariant check: %v", err)
+	}
+	// Damage the file: the load must fail loudly, not return garbage.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := contention.LoadCalibrationFile(path); err == nil {
+		t.Fatal("truncated calibration file loaded without error")
+	}
+	// An invalid calibration is reported with parameter paths.
+	bad := cal
+	bad.Tables.CompOnComm = append([]float64(nil), cal.Tables.CompOnComm...)
+	bad.Tables.CompOnComm[1] = 0.01
+	bad.Tables.CompOnComm[0] = 3.0
+	err = contention.CheckCalibration(bad)
+	if err == nil {
+		t.Fatal("grossly non-monotone tables passed CheckCalibration")
+	}
+	var report *contention.ValidationReport
+	if !errors.As(err, &report) || len(report.Fatal()) == 0 {
+		t.Fatalf("error %T is not a recoverable ValidationReport", err)
 	}
 }

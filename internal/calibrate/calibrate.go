@@ -52,6 +52,25 @@ type Options struct {
 	ProbeWork float64
 	// Warmup lets contenders reach steady state before measuring.
 	Warmup float64
+
+	// Repeats is the number of measurements taken per point, each with
+	// a deterministically jittered probe phase; 0 or 1 keeps the
+	// single-shot behavior. The robust aggregation below only has
+	// teeth when Repeats > 1.
+	Repeats int
+	// TrimFraction is trimmed per tail when aggregating repeated
+	// measurements (0 = plain mean).
+	TrimFraction float64
+	// OutlierK rejects samples more than K MAD-equivalent standard
+	// deviations from the median before aggregation (≤ 0 disables).
+	OutlierK float64
+	// BootstrapResamples sizes the bootstrap behind each confidence
+	// interval (< 2 disables interval estimation).
+	BootstrapResamples int
+	// Confidence is the two-sided bootstrap confidence level.
+	Confidence float64
+	// Seed drives the bootstrap resampler (deterministic).
+	Seed int64
 }
 
 // DefaultOptions returns the settings used throughout the experiments.
@@ -65,6 +84,13 @@ func DefaultOptions(params platform.ParagonParams) Options {
 		ProbeWords:    256,
 		ProbeWork:     2.0,
 		Warmup:        0.5,
+
+		Repeats:            1,
+		TrimFraction:       0.2,
+		OutlierK:           3.5,
+		BootstrapResamples: 200,
+		Confidence:         0.95,
+		Seed:               1,
 	}
 }
 
@@ -87,6 +113,15 @@ func (o Options) validate() error {
 	if o.Warmup < 0 {
 		return fmt.Errorf("calibrate: negative warmup %v", o.Warmup)
 	}
+	if o.Repeats < 0 {
+		return fmt.Errorf("calibrate: negative repeats %d", o.Repeats)
+	}
+	if o.TrimFraction < 0 || o.TrimFraction >= 0.5 {
+		return fmt.Errorf("calibrate: trim fraction %v out of [0,0.5)", o.TrimFraction)
+	}
+	if o.Confidence < 0 || o.Confidence >= 1 {
+		return fmt.Errorf("calibrate: confidence %v out of [0,1)", o.Confidence)
+	}
 	return nil
 }
 
@@ -102,6 +137,13 @@ func (o Options) newPlatform() (*des.Kernel, *platform.SunParagon, error) {
 // measureBurst runs one ping-pong burst of the given direction and size
 // under the contenders installed by setup, returning per-message cost.
 func (o Options) measureBurst(dir workload.Direction, words int, setup func(*platform.SunParagon)) (float64, error) {
+	return o.measureBurstWarm(dir, words, setup, o.Warmup)
+}
+
+// measureBurstWarm is measureBurst with an explicit warmup, which the
+// robust pipeline jitters across repeats to decorrelate the probe's
+// phase from the contenders' deterministic cycles.
+func (o Options) measureBurstWarm(dir workload.Direction, words int, setup func(*platform.SunParagon), warmup float64) (float64, error) {
 	k, sp, err := o.newPlatform()
 	if err != nil {
 		return 0, err
@@ -115,8 +157,8 @@ func (o Options) measureBurst(dir workload.Direction, words int, setup func(*pla
 	case workload.SunToParagon:
 		workload.SpawnPingEcho(sp, port)
 		k.Spawn("probe", func(p *des.Proc) {
-			if o.Warmup > 0 {
-				p.Delay(o.Warmup)
+			if warmup > 0 {
+				p.Delay(warmup)
 			}
 			elapsed = workload.PingPongBurst(p, sp, port, o.BurstCount, words)
 			k.Stop() // contenders run forever; end the run with the probe
@@ -124,8 +166,8 @@ func (o Options) measureBurst(dir workload.Direction, words int, setup func(*pla
 	case workload.ParagonToSun:
 		ctl := workload.BurstServer(sp, "server", port)
 		k.Spawn("probe", func(p *des.Proc) {
-			if o.Warmup > 0 {
-				p.Delay(o.Warmup)
+			if warmup > 0 {
+				p.Delay(warmup)
 			}
 			elapsed = workload.BurstFromParagon(p, sp, ctl, port, o.BurstCount, words)
 			k.Stop()
@@ -143,6 +185,11 @@ func (o Options) measureBurst(dir workload.Direction, words int, setup func(*pla
 // measureCompute runs a CPU-bound probe of ProbeWork dedicated seconds
 // under the contenders installed by setup, returning elapsed time.
 func (o Options) measureCompute(setup func(*platform.SunParagon)) (float64, error) {
+	return o.measureComputeWarm(setup, o.Warmup)
+}
+
+// measureComputeWarm is measureCompute with an explicit warmup.
+func (o Options) measureComputeWarm(setup func(*platform.SunParagon), warmup float64) (float64, error) {
 	k, sp, err := o.newPlatform()
 	if err != nil {
 		return 0, err
@@ -152,8 +199,8 @@ func (o Options) measureCompute(setup func(*platform.SunParagon)) (float64, erro
 	}
 	var elapsed float64
 	k.Spawn("probe", func(p *des.Proc) {
-		if o.Warmup > 0 {
-			p.Delay(o.Warmup)
+		if warmup > 0 {
+			p.Delay(warmup)
 		}
 		start := p.Now()
 		sp.Host.Compute(p, o.ProbeWork)
@@ -309,30 +356,9 @@ func delayOf(contended, dedicated float64) float64 {
 }
 
 // Run executes the full suite and returns a ready-to-use calibration.
+// It is RunRobust without the confidence annotations; with the default
+// Repeats = 1 it reproduces the single-shot suite exactly.
 func Run(opts Options) (core.Calibration, error) {
-	if err := opts.validate(); err != nil {
-		return core.Calibration{}, err
-	}
-	toBack, _, err := opts.FitCommModel(workload.SunToParagon)
-	if err != nil {
-		return core.Calibration{}, err
-	}
-	toHost, _, err := opts.FitCommModel(workload.ParagonToSun)
-	if err != nil {
-		return core.Calibration{}, err
-	}
-	tables, err := opts.MeasureDelayTables()
-	if err != nil {
-		return core.Calibration{}, err
-	}
-	cal := core.Calibration{
-		ToBack:   toBack,
-		ToHost:   toHost,
-		Tables:   tables,
-		Platform: fmt.Sprintf("sun/paragon (%v)", opts.Params.Mode),
-	}
-	if err := cal.Validate(); err != nil {
-		return core.Calibration{}, err
-	}
-	return cal, nil
+	cal, _, err := RunRobust(opts)
+	return cal, err
 }

@@ -1,0 +1,357 @@
+package calibrate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"contention/internal/core"
+	"contention/internal/platform"
+	"contention/internal/stats"
+	"contention/internal/workload"
+)
+
+// The robust estimation layer of the calibration suite: every model
+// parameter is measured Repeats times with a deterministically
+// jittered probe phase, MAD-filtered, aggregated by trimmed mean, and
+// annotated with a bootstrap confidence interval. With Repeats = 1 the
+// pipeline degenerates exactly to the single-shot suite.
+
+// PieceCI carries confidence intervals for one comm-model piece.
+type PieceCI struct {
+	Alpha stats.Interval
+	Beta  stats.Interval
+}
+
+// CommCI carries confidence intervals for a piecewise comm model.
+type CommCI struct {
+	Small PieceCI
+	Large PieceCI
+}
+
+// Confidence annotates every fitted parameter of a calibration with a
+// bootstrap confidence interval, plus aggregation diagnostics. Delay
+// intervals are indexed like their tables ([i-1] = i contenders).
+type Confidence struct {
+	Level            float64
+	Repeats          int
+	OutliersRejected int
+
+	ToBack CommCI
+	ToHost CommCI
+
+	CompOnComm []stats.Interval
+	CommOnComm []stats.Interval
+	CommOnComp map[int][]stats.Interval
+}
+
+// phaseJitter decorrelates repeat r's probe phase from the contenders'
+// deterministic cycles: an irrational-looking offset that never aligns
+// with the 0.05 s alternator period.
+func phaseJitter(r int) float64 { return 0.0137 * float64(r) }
+
+func (o Options) repeats() int {
+	if o.Repeats < 1 {
+		return 1
+	}
+	return o.Repeats
+}
+
+// aggregate MAD-filters and trim-means one sample set.
+func (o Options) aggregate(samples []float64) (float64, int, error) {
+	kept, rejected := stats.RejectOutliersMAD(samples, o.OutlierK)
+	if len(kept) == 0 { // all rejected: fall back to the raw median
+		return stats.Median(samples), rejected, nil
+	}
+	v, err := stats.TrimmedMean(kept, o.TrimFraction)
+	return v, rejected, err
+}
+
+// resampleAgg draws one bootstrap resample of samples and aggregates
+// it the same way the point estimate was aggregated.
+func (o Options) resampleAgg(samples []float64, rng *rand.Rand) float64 {
+	buf := make([]float64, len(samples))
+	for i := range buf {
+		buf[i] = samples[rng.Intn(len(samples))]
+	}
+	v, _, err := o.aggregate(buf)
+	if err != nil { // can't happen for non-empty buf; be safe
+		return stats.Median(buf)
+	}
+	return v
+}
+
+// interval turns a slice of bootstrap statistics into a confidence
+// interval at the configured level.
+func (o Options) interval(vals []float64) stats.Interval {
+	if len(vals) < 2 {
+		return stats.Interval{}
+	}
+	lo, errLo := stats.Quantile(vals, (1-o.Confidence)/2)
+	hi, errHi := stats.Quantile(vals, (1+o.Confidence)/2)
+	if errLo != nil || errHi != nil {
+		return stats.Interval{}
+	}
+	return stats.Interval{Lo: lo, Hi: hi}
+}
+
+func (o Options) bootstrapOn() bool {
+	return o.BootstrapResamples >= 2 && o.Confidence > 0
+}
+
+// sampleBurst measures one (direction, size, contender-setup) point
+// Repeats times with jittered probe phase.
+func (o Options) sampleBurst(dir workload.Direction, words int, setup func(*platform.SunParagon)) ([]float64, error) {
+	out := make([]float64, 0, o.repeats())
+	for r := 0; r < o.repeats(); r++ {
+		cost, err := o.measureBurstWarm(dir, words, setup, o.Warmup+phaseJitter(r))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cost)
+	}
+	return out, nil
+}
+
+// sampleCompute is the CPU-probe analogue of sampleBurst.
+func (o Options) sampleCompute(setup func(*platform.SunParagon)) ([]float64, error) {
+	out := make([]float64, 0, o.repeats())
+	for r := 0; r < o.repeats(); r++ {
+		elapsed, err := o.measureComputeWarm(setup, o.Warmup+phaseJitter(r))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, elapsed)
+	}
+	return out, nil
+}
+
+// fitCommModelRobust measures the size grid with repeats, fits the
+// piecewise model on the aggregated points, and bootstraps α/β
+// intervals by refitting resampled aggregates.
+func (o Options) fitCommModelRobust(dir workload.Direction, rng *rand.Rand) (core.CommModel, CommCI, int, error) {
+	xs := make([]float64, len(o.Sizes))
+	ys := make([]float64, len(o.Sizes))
+	sampleSets := make([][]float64, len(o.Sizes))
+	rejected := 0
+	for i, words := range o.Sizes {
+		samples, err := o.sampleBurst(dir, words, nil)
+		if err != nil {
+			return core.CommModel{}, CommCI{}, 0, err
+		}
+		v, rej, err := o.aggregate(samples)
+		if err != nil {
+			return core.CommModel{}, CommCI{}, 0, err
+		}
+		xs[i] = float64(words)
+		ys[i] = v
+		sampleSets[i] = samples
+		rejected += rej
+	}
+	fit, err := stats.FitPiecewise(xs, ys)
+	if err != nil {
+		return core.CommModel{}, CommCI{}, 0, err
+	}
+	model, err := modelFromFit(fit)
+	if err != nil {
+		return core.CommModel{}, CommCI{}, 0, err
+	}
+	ci := CommCI{}
+	if o.bootstrapOn() {
+		var aS, bS, aL, bL []float64
+		bys := make([]float64, len(xs))
+		for b := 0; b < o.BootstrapResamples; b++ {
+			for i := range sampleSets {
+				bys[i] = o.resampleAgg(sampleSets[i], rng)
+			}
+			bfit, err := stats.FitPiecewise(xs, bys)
+			if err != nil {
+				continue
+			}
+			bmodel, err := modelFromFit(bfit)
+			if err != nil {
+				continue
+			}
+			aS = append(aS, bmodel.Small.Alpha)
+			bS = append(bS, bmodel.Small.Beta)
+			aL = append(aL, bmodel.Large.Alpha)
+			bL = append(bL, bmodel.Large.Beta)
+		}
+		ci.Small = PieceCI{Alpha: o.interval(aS), Beta: o.interval(bS)}
+		ci.Large = PieceCI{Alpha: o.interval(aL), Beta: o.interval(bL)}
+	}
+	return model, ci, rejected, nil
+}
+
+// delayPoint aggregates a contended/dedicated sample-set pair into one
+// delay entry plus its bootstrap interval. Both sample sets are
+// resampled jointly so the interval reflects uncertainty in both.
+func (o Options) delayPoint(contended, dedicated []float64, rng *rand.Rand) (float64, stats.Interval, int, error) {
+	aggC, rejC, err := o.aggregate(contended)
+	if err != nil {
+		return 0, stats.Interval{}, 0, err
+	}
+	aggD, rejD, err := o.aggregate(dedicated)
+	if err != nil {
+		return 0, stats.Interval{}, 0, err
+	}
+	val := delayOf(aggC, aggD)
+	iv := stats.Interval{}
+	if o.bootstrapOn() {
+		vals := make([]float64, 0, o.BootstrapResamples)
+		for b := 0; b < o.BootstrapResamples; b++ {
+			vals = append(vals, delayOf(o.resampleAgg(contended, rng), o.resampleAgg(dedicated, rng)))
+		}
+		iv = o.interval(vals)
+	}
+	return val, iv, rejC + rejD, nil
+}
+
+// delayPairPoint is delayPoint over a direction-averaged pair of
+// contended sample sets (the paper averages Sun→Paragon and
+// Paragon→Sun).
+func (o Options) delayPairPoint(toBack, toHost, dedicated []float64, rng *rand.Rand) (float64, stats.Interval, int, error) {
+	aggTB, rejTB, err := o.aggregate(toBack)
+	if err != nil {
+		return 0, stats.Interval{}, 0, err
+	}
+	aggTH, rejTH, err := o.aggregate(toHost)
+	if err != nil {
+		return 0, stats.Interval{}, 0, err
+	}
+	aggD, rejD, err := o.aggregate(dedicated)
+	if err != nil {
+		return 0, stats.Interval{}, 0, err
+	}
+	val := (delayOf(aggTB, aggD) + delayOf(aggTH, aggD)) / 2
+	iv := stats.Interval{}
+	if o.bootstrapOn() {
+		vals := make([]float64, 0, o.BootstrapResamples)
+		for b := 0; b < o.BootstrapResamples; b++ {
+			d := o.resampleAgg(dedicated, rng)
+			vals = append(vals, (delayOf(o.resampleAgg(toBack, rng), d)+delayOf(o.resampleAgg(toHost, rng), d))/2)
+		}
+		iv = o.interval(vals)
+	}
+	return val, iv, rejTB + rejTH + rejD, nil
+}
+
+// measureDelayTablesRobust runs the contention probes with repeats and
+// assembles the delay tables plus per-entry confidence intervals.
+func (o Options) measureDelayTablesRobust(rng *rand.Rand, conf *Confidence) (core.DelayTables, error) {
+	dedicated, err := o.sampleBurst(workload.SunToParagon, o.ProbeWords, nil)
+	if err != nil {
+		return core.DelayTables{}, err
+	}
+	dedicatedComp, err := o.sampleCompute(nil)
+	if err != nil {
+		return core.DelayTables{}, err
+	}
+
+	tables := core.DelayTables{CommOnComp: map[int][]float64{}}
+	conf.CommOnComp = map[int][]stats.Interval{}
+	for i := 1; i <= o.MaxContenders; i++ {
+		i := i
+
+		// delay^i_comp: CPU-bound generators vs the ping-pong probe.
+		contended, err := o.sampleBurst(workload.SunToParagon, o.ProbeWords, func(sp *platform.SunParagon) {
+			spawnHogs(sp, i)
+		})
+		if err != nil {
+			return core.DelayTables{}, err
+		}
+		val, iv, rej, err := o.delayPoint(contended, dedicated, rng)
+		if err != nil {
+			return core.DelayTables{}, err
+		}
+		tables.CompOnComm = append(tables.CompOnComm, val)
+		conf.CompOnComm = append(conf.CompOnComm, iv)
+		conf.OutliersRejected += rej
+
+		// delay^i_comm: one-word streamers, both directions, averaged.
+		toBack, err := o.sampleBurst(workload.SunToParagon, o.ProbeWords, func(sp *platform.SunParagon) {
+			spawnStreamers(sp, i, 1, workload.SunToParagon)
+		})
+		if err != nil {
+			return core.DelayTables{}, err
+		}
+		toHost, err := o.sampleBurst(workload.SunToParagon, o.ProbeWords, func(sp *platform.SunParagon) {
+			spawnStreamers(sp, i, 1, workload.ParagonToSun)
+		})
+		if err != nil {
+			return core.DelayTables{}, err
+		}
+		val, iv, rej, err = o.delayPairPoint(toBack, toHost, dedicated, rng)
+		if err != nil {
+			return core.DelayTables{}, err
+		}
+		tables.CommOnComm = append(tables.CommOnComm, val)
+		conf.CommOnComm = append(conf.CommOnComm, iv)
+		conf.OutliersRejected += rej
+	}
+
+	// delay^{i,j}_comm: streamers vs the CPU-bound probe.
+	for _, j := range o.JGrid {
+		col := make([]float64, 0, o.MaxContenders)
+		ivCol := make([]stats.Interval, 0, o.MaxContenders)
+		for i := 1; i <= o.MaxContenders; i++ {
+			toBack, err := o.sampleCompute(func(sp *platform.SunParagon) {
+				spawnStreamers(sp, i, j, workload.SunToParagon)
+			})
+			if err != nil {
+				return core.DelayTables{}, err
+			}
+			toHost, err := o.sampleCompute(func(sp *platform.SunParagon) {
+				spawnStreamers(sp, i, j, workload.ParagonToSun)
+			})
+			if err != nil {
+				return core.DelayTables{}, err
+			}
+			val, iv, rej, err := o.delayPairPoint(toBack, toHost, dedicatedComp, rng)
+			if err != nil {
+				return core.DelayTables{}, err
+			}
+			col = append(col, val)
+			ivCol = append(ivCol, iv)
+			conf.OutliersRejected += rej
+		}
+		tables.CommOnComp[j] = col
+		conf.CommOnComp[j] = ivCol
+	}
+	return tables, nil
+}
+
+// RunRobust executes the full suite with robust estimation and returns
+// the calibration together with per-parameter confidence intervals.
+func RunRobust(opts Options) (core.Calibration, *Confidence, error) {
+	if err := opts.validate(); err != nil {
+		return core.Calibration{}, nil, err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	conf := &Confidence{Level: opts.Confidence, Repeats: opts.repeats()}
+
+	toBack, ciBack, rejB, err := opts.fitCommModelRobust(workload.SunToParagon, rng)
+	if err != nil {
+		return core.Calibration{}, nil, err
+	}
+	toHost, ciHost, rejH, err := opts.fitCommModelRobust(workload.ParagonToSun, rng)
+	if err != nil {
+		return core.Calibration{}, nil, err
+	}
+	conf.ToBack, conf.ToHost = ciBack, ciHost
+	conf.OutliersRejected += rejB + rejH
+
+	tables, err := opts.measureDelayTablesRobust(rng, conf)
+	if err != nil {
+		return core.Calibration{}, nil, err
+	}
+	cal := core.Calibration{
+		ToBack:   toBack,
+		ToHost:   toHost,
+		Tables:   tables,
+		Platform: fmt.Sprintf("sun/paragon (%v)", opts.Params.Mode),
+	}
+	if err := cal.Validate(); err != nil {
+		return core.Calibration{}, nil, err
+	}
+	return cal, conf, nil
+}

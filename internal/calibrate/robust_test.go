@@ -1,0 +1,132 @@
+package calibrate
+
+import (
+	"testing"
+
+	"contention/internal/core"
+	"contention/internal/stats"
+	"contention/internal/workload"
+)
+
+func robustOptions() Options {
+	o := fastOptions()
+	o.MaxContenders = 2
+	o.Repeats = 3
+	o.BootstrapResamples = 60
+	return o
+}
+
+func checkInterval(t *testing.T, name string, iv stats.Interval, point float64) {
+	t.Helper()
+	if iv.Lo > iv.Hi {
+		t.Fatalf("%s: interval inverted [%v, %v]", name, iv.Lo, iv.Hi)
+	}
+	// Degenerate (zero-width) intervals are legitimate when every repeat
+	// agrees — the simulator is deterministic for uncontended probes —
+	// but a non-degenerate interval must bracket its point estimate.
+	if iv.Width() > 0 && !iv.Contains(point) {
+		t.Fatalf("%s: point %v outside CI [%v, %v]", name, point, iv.Lo, iv.Hi)
+	}
+}
+
+func TestRunRobustProducesIntervals(t *testing.T) {
+	o := robustOptions()
+	cal, conf, err := RunRobust(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cal.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if conf.Repeats != 3 || conf.Level != o.Confidence {
+		t.Fatalf("confidence metadata %+v", conf)
+	}
+
+	checkInterval(t, "ToBack.Small.Alpha", conf.ToBack.Small.Alpha, cal.ToBack.Small.Alpha)
+	checkInterval(t, "ToBack.Small.Beta", conf.ToBack.Small.Beta, cal.ToBack.Small.Beta)
+	checkInterval(t, "ToBack.Large.Alpha", conf.ToBack.Large.Alpha, cal.ToBack.Large.Alpha)
+	checkInterval(t, "ToBack.Large.Beta", conf.ToBack.Large.Beta, cal.ToBack.Large.Beta)
+	checkInterval(t, "ToHost.Small.Beta", conf.ToHost.Small.Beta, cal.ToHost.Small.Beta)
+
+	if len(conf.CompOnComm) != o.MaxContenders || len(conf.CommOnComm) != o.MaxContenders {
+		t.Fatalf("delay CI lengths %d/%d, want %d",
+			len(conf.CompOnComm), len(conf.CommOnComm), o.MaxContenders)
+	}
+	for i := range conf.CompOnComm {
+		checkInterval(t, "CompOnComm", conf.CompOnComm[i], cal.Tables.CompOnComm[i])
+		checkInterval(t, "CommOnComm", conf.CommOnComm[i], cal.Tables.CommOnComm[i])
+	}
+	for _, j := range o.JGrid {
+		col, ok := conf.CommOnComp[j]
+		if !ok || len(col) != o.MaxContenders {
+			t.Fatalf("CommOnComp[%d] CI column missing or short: %v", j, col)
+		}
+		for i := range col {
+			checkInterval(t, "CommOnComp", col[i], cal.Tables.CommOnComp[j][i])
+		}
+	}
+}
+
+func TestRunRobustDeterministicForFixedSeed(t *testing.T) {
+	o := robustOptions()
+	cal1, conf1, err := RunRobust(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal2, conf2, err := RunRobust(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal1.ToBack.Small.Beta != cal2.ToBack.Small.Beta {
+		t.Fatalf("β differs across identical runs: %v vs %v",
+			cal1.ToBack.Small.Beta, cal2.ToBack.Small.Beta)
+	}
+	if conf1.ToBack.Small.Beta != conf2.ToBack.Small.Beta {
+		t.Fatalf("CI differs across identical runs: %+v vs %+v",
+			conf1.ToBack.Small.Beta, conf2.ToBack.Small.Beta)
+	}
+	if cal1.Tables.CompOnComm[0] != cal2.Tables.CompOnComm[0] {
+		t.Fatal("delay tables differ across identical runs")
+	}
+}
+
+func TestRunRobustSingleRepeatMatchesRun(t *testing.T) {
+	// Repeats = 1 must degenerate to the single-shot pipeline so the
+	// seed calibrations (and every downstream expected value) are
+	// unchanged by the robustness layer.
+	o := fastOptions()
+	single, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, _, err := o.FitCommModel(workload.SunToParagon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.ToBack != model {
+		t.Fatalf("Run comm model %+v differs from single-shot fit %+v", single.ToBack, model)
+	}
+	pred, err := core.NewPredictor(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Stale() != "" {
+		t.Fatal("fresh calibration marked stale")
+	}
+}
+
+func TestRobustOptionValidation(t *testing.T) {
+	for _, mod := range []func(*Options){
+		func(o *Options) { o.Repeats = -1 },
+		func(o *Options) { o.TrimFraction = -0.1 },
+		func(o *Options) { o.TrimFraction = 0.5 },
+		func(o *Options) { o.Confidence = 1.0 },
+		func(o *Options) { o.Confidence = -0.2 },
+	} {
+		o := fastOptions()
+		mod(&o)
+		if _, _, err := RunRobust(o); err == nil {
+			t.Errorf("invalid robust option accepted: %+v", o)
+		}
+	}
+}

@@ -78,19 +78,28 @@ func Uniform(alpha, beta float64) CommModel {
 	return CommModel{Threshold: math.MaxInt, Small: p, Large: p}
 }
 
-// Validate checks the model parameters.
-func (m CommModel) Validate() error {
-	if m.Small.Beta <= 0 || m.Large.Beta <= 0 {
-		return errors.New("core: comm model bandwidth must be positive")
+// ValidateReport checks the model parameters, returning every
+// violation found as a structured report.
+func (m CommModel) ValidateReport() *ValidationReport {
+	r := &ValidationReport{}
+	piece := func(path string, p CommPiece) {
+		if !(p.Beta > 0) || math.IsInf(p.Beta, 0) { // rejects NaN and ±Inf too
+			r.Add(path+".Beta", "bandwidth %v must be positive and finite", p.Beta)
+		}
+		if p.Alpha < 0 || math.IsNaN(p.Alpha) || math.IsInf(p.Alpha, 0) {
+			r.Add(path+".Alpha", "startup %v must be non-negative and finite", p.Alpha)
+		}
 	}
-	if m.Small.Alpha < 0 || m.Large.Alpha < 0 {
-		return errors.New("core: comm model startup must be non-negative")
-	}
+	piece("Small", m.Small)
+	piece("Large", m.Large)
 	if m.Threshold <= 0 {
-		return errors.New("core: comm model threshold must be positive")
+		r.Add("Threshold", "threshold %d must be positive", m.Threshold)
 	}
-	return nil
+	return r
 }
+
+// Validate checks the model parameters.
+func (m CommModel) Validate() error { return m.ValidateReport().Err() }
 
 // MessageTime returns the dedicated cost of one message.
 func (m CommModel) MessageTime(words int) float64 {
@@ -173,32 +182,30 @@ type DelayTables struct {
 	CommOnComp map[int][]float64
 }
 
-// Validate checks table invariants.
-func (t DelayTables) Validate() error {
-	check := func(name string, xs []float64) error {
+// ValidateReport checks table invariants — every entry finite and
+// non-negative, every j key positive — returning all violations found.
+func (t DelayTables) ValidateReport() *ValidationReport {
+	r := &ValidationReport{}
+	check := func(name string, xs []float64) {
 		for i, v := range xs {
-			if v < 0 || math.IsNaN(v) {
-				return fmt.Errorf("core: %s[%d] = %v invalid", name, i, v)
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				r.Add(fmt.Sprintf("%s[%d]", name, i), "delay %v must be finite and non-negative", v)
 			}
 		}
-		return nil
 	}
-	if err := check("CompOnComm", t.CompOnComm); err != nil {
-		return err
-	}
-	if err := check("CommOnComm", t.CommOnComm); err != nil {
-		return err
-	}
+	check("CompOnComm", t.CompOnComm)
+	check("CommOnComm", t.CommOnComm)
 	for j, xs := range t.CommOnComp {
 		if j <= 0 {
-			return fmt.Errorf("core: CommOnComp key %d must be positive", j)
+			r.Add(fmt.Sprintf("CommOnComp[%d]", j), "message-size key must be positive")
 		}
-		if err := check(fmt.Sprintf("CommOnComp[%d]", j), xs); err != nil {
-			return err
-		}
+		check(fmt.Sprintf("CommOnComp[%d]", j), xs)
 	}
-	return nil
+	return r
 }
+
+// Validate checks table invariants.
+func (t DelayTables) Validate() error { return t.ValidateReport().Err() }
 
 func lookup(table []float64, i int) float64 {
 	if len(table) == 0 || i <= 0 {

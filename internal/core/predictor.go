@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 )
 
 // Direction names a transfer direction across the platform link.
@@ -38,41 +39,59 @@ type Calibration struct {
 	Platform string
 }
 
-// Validate checks the calibration.
-func (c Calibration) Validate() error {
-	if err := c.ToBack.Validate(); err != nil {
-		return fmt.Errorf("to-back model: %w", err)
-	}
-	if err := c.ToHost.Validate(); err != nil {
-		return fmt.Errorf("to-host model: %w", err)
-	}
-	return c.Tables.Validate()
+// ValidateReport checks the whole calibration and returns every
+// violation found, each prefixed with the component it lives in.
+func (c Calibration) ValidateReport() *ValidationReport {
+	r := &ValidationReport{}
+	r.Merge("ToBack", c.ToBack.ValidateReport())
+	r.Merge("ToHost", c.ToHost.ValidateReport())
+	r.Merge("Tables", c.Tables.ValidateReport())
+	return r
 }
+
+// Validate checks the calibration. On failure the returned error is a
+// *ValidationReport; errors.As recovers the structured violations.
+func (c Calibration) Validate() error { return c.ValidateReport().Err() }
 
 // Predictor produces slowdown-adjusted cost predictions from a
 // calibration and a contender set. It is the façade a scheduler uses to
 // rank candidate allocations.
 type Predictor struct {
-	cal   Calibration
-	stale string // non-empty: calibration marked stale, reason attached
+	cal    Calibration
+	stale  string            // non-empty: calibration marked stale, reason attached
+	report *ValidationReport // validation findings captured at construction
 }
 
-// NewPredictor validates the calibration and returns a predictor.
+// NewPredictor validates the calibration and returns a predictor. On
+// failure the error is a *ValidationReport carrying every violation.
 func NewPredictor(cal Calibration) (*Predictor, error) {
-	if err := cal.Validate(); err != nil {
+	report := cal.ValidateReport()
+	if err := report.Err(); err != nil {
 		return nil, err
 	}
-	return &Predictor{cal: cal}, nil
+	return &Predictor{cal: cal, report: report}, nil
 }
 
 // NewPredictorLenient accepts a possibly incomplete or invalid
-// calibration without error. The strict Predict* methods behave as
-// usual (and fail where the calibration cannot support them); the
-// Robust variants degrade to the conservative worst case instead of
-// failing. Use it when a scheduler must keep ranking allocations even
-// though the calibration suite has not (fully) run.
+// calibration without error, recording its validation report. The
+// strict Predict* methods behave as usual (and fail where the
+// calibration cannot support them); the Robust variants degrade to the
+// conservative worst case instead of failing — with the delay tables'
+// validation violations as the degradation reason when that is what is
+// wrong. Use it when a scheduler must keep ranking allocations even
+// though the calibration suite has not (fully or correctly) run.
 func NewPredictorLenient(cal Calibration) *Predictor {
-	return &Predictor{cal: cal}
+	return &Predictor{cal: cal, report: cal.ValidateReport()}
+}
+
+// ValidationReport returns the validation findings recorded when the
+// predictor was built (never nil; possibly empty for a clean
+// calibration).
+func (p *Predictor) ValidationReport() *ValidationReport {
+	if p.report == nil {
+		return &ValidationReport{}
+	}
+	return p.report
 }
 
 // Calibration returns the predictor's calibration.
@@ -182,11 +201,30 @@ func (p *Predictor) ClearStale() { p.stale = "" }
 // Stale reports the staleness reason ("" when fresh).
 func (p *Predictor) Stale() string { return p.stale }
 
+// tablesInvalidReason returns a degradation reason when the validation
+// report recorded at construction shows fatal violations in the delay
+// tables (the lenient predictor path: a bad table degrades to p+1, it
+// does not feed garbage into the mixture).
+func (p *Predictor) tablesInvalidReason() string {
+	if p.report == nil {
+		return ""
+	}
+	for _, v := range p.report.Fatal() {
+		if strings.HasPrefix(v.Path, "Tables") {
+			return fmt.Sprintf("invalid delay tables: %s: %s", v.Path, v.Msg)
+		}
+	}
+	return ""
+}
+
 // degradeReasonComm reports why the communication slowdown cannot be
 // trusted, or "" when the tables support it.
 func (p *Predictor) degradeReasonComm(cs []Contender) string {
 	if p.stale != "" {
 		return "stale calibration: " + p.stale
+	}
+	if reason := p.tablesInvalidReason(); reason != "" {
+		return reason
 	}
 	t := p.cal.Tables
 	if len(t.CompOnComm) == 0 && len(t.CommOnComm) == 0 {
@@ -203,6 +241,9 @@ func (p *Predictor) degradeReasonComm(cs []Contender) string {
 func (p *Predictor) degradeReasonComp(cs []Contender) string {
 	if p.stale != "" {
 		return "stale calibration: " + p.stale
+	}
+	if reason := p.tablesInvalidReason(); reason != "" {
+		return reason
 	}
 	t := p.cal.Tables
 	anyComm := false

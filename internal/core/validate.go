@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Violation is one structured invariant failure found in a calibration
+// artifact. Path locates the offending field ("Tables.CompOnComm[2]",
+// "ToBack.Small.Beta"); Warn marks advisory findings that do not
+// invalidate the calibration (the trust layer surfaces them, the strict
+// validators ignore them).
+type Violation struct {
+	Path string
+	Msg  string
+	Warn bool
+}
+
+// String renders the violation compactly.
+func (v Violation) String() string {
+	sev := "error"
+	if v.Warn {
+		sev = "warn"
+	}
+	return fmt.Sprintf("%s: %s: %s", sev, v.Path, v.Msg)
+}
+
+// ValidationReport collects every violation found in a calibration
+// artifact. It implements error so validators can return it directly;
+// callers that want structure use errors.As to recover it instead of
+// parsing the message.
+type ValidationReport struct {
+	Violations []Violation
+}
+
+// Add records a fatal violation.
+func (r *ValidationReport) Add(path, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{Path: path, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Warn records an advisory violation.
+func (r *ValidationReport) Warn(path, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{Path: path, Msg: fmt.Sprintf(format, args...), Warn: true})
+}
+
+// Merge appends another report's violations under a path prefix.
+func (r *ValidationReport) Merge(prefix string, other *ValidationReport) {
+	if other == nil {
+		return
+	}
+	for _, v := range other.Violations {
+		p := v.Path
+		if prefix != "" {
+			if p == "" {
+				p = prefix
+			} else {
+				p = prefix + "." + p
+			}
+		}
+		r.Violations = append(r.Violations, Violation{Path: p, Msg: v.Msg, Warn: v.Warn})
+	}
+}
+
+// OK reports whether the artifact passed: no fatal violations
+// (warnings are allowed).
+func (r *ValidationReport) OK() bool {
+	for _, v := range r.Violations {
+		if !v.Warn {
+			return false
+		}
+	}
+	return true
+}
+
+// Fatal returns the non-advisory violations.
+func (r *ValidationReport) Fatal() []Violation {
+	var out []Violation
+	for _, v := range r.Violations {
+		if !v.Warn {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Err returns the report as an error when it has fatal violations, or
+// nil. Always use Err (never return a *ValidationReport directly as an
+// error) to avoid the typed-nil-in-interface trap.
+func (r *ValidationReport) Err() error {
+	if r == nil || r.OK() {
+		return nil
+	}
+	return r
+}
+
+// Error implements error: a one-line summary plus each fatal violation.
+func (r *ValidationReport) Error() string {
+	fatal := r.Fatal()
+	if len(fatal) == 0 {
+		return "core: calibration valid"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "core: calibration invalid (%d violation", len(fatal))
+	if len(fatal) > 1 {
+		b.WriteByte('s')
+	}
+	b.WriteByte(')')
+	for _, v := range fatal {
+		b.WriteString("; ")
+		b.WriteString(v.Path)
+		b.WriteString(": ")
+		b.WriteString(v.Msg)
+	}
+	return b.String()
+}
+
+// String renders every violation, warnings included, one per line.
+func (r *ValidationReport) String() string {
+	if len(r.Violations) == 0 {
+		return "ok"
+	}
+	lines := make([]string, len(r.Violations))
+	for i, v := range r.Violations {
+		lines[i] = v.String()
+	}
+	return strings.Join(lines, "\n")
+}

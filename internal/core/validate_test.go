@@ -1,0 +1,119 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestValidationReportStructured(t *testing.T) {
+	bad := Calibration{
+		ToBack: Uniform(1e-3, 1e5),
+		ToHost: CommModel{Threshold: 100,
+			Small: CommPiece{Alpha: -1, Beta: 0},
+			Large: CommPiece{Alpha: 0, Beta: math.Inf(1)}},
+		Tables: DelayTables{
+			CompOnComm: []float64{0.1, math.NaN()},
+			CommOnComm: []float64{-0.5},
+			CommOnComp: map[int][]float64{-3: {0.2}},
+		},
+	}
+	report := bad.ValidateReport()
+	if report.OK() {
+		t.Fatal("invalid calibration passed validation")
+	}
+	wantPaths := []string{
+		"ToHost.Small.Alpha", "ToHost.Small.Beta", "ToHost.Large.Beta",
+		"Tables.CompOnComm[1]", "Tables.CommOnComm[0]", "Tables.CommOnComp[-3]",
+	}
+	for _, want := range wantPaths {
+		found := false
+		for _, v := range report.Violations {
+			if v.Path == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("report missing violation at %s:\n%s", want, report)
+		}
+	}
+	// ToBack is clean: no violations under it.
+	for _, v := range report.Violations {
+		if strings.HasPrefix(v.Path, "ToBack") {
+			t.Errorf("spurious violation %s", v)
+		}
+	}
+}
+
+func TestNewPredictorReturnsReport(t *testing.T) {
+	_, err := NewPredictor(Calibration{})
+	if err == nil {
+		t.Fatal("empty calibration accepted")
+	}
+	var report *ValidationReport
+	if !errors.As(err, &report) {
+		t.Fatalf("error %T is not a *ValidationReport", err)
+	}
+	if len(report.Fatal()) == 0 {
+		t.Fatal("report has no fatal violations")
+	}
+}
+
+func TestValidationReportErrNilWhenClean(t *testing.T) {
+	cal := Calibration{ToBack: Uniform(1e-3, 1e5), ToHost: Uniform(1e-3, 1e5)}
+	if err := cal.Validate(); err != nil {
+		t.Fatalf("clean calibration rejected: %v", err)
+	}
+	r := &ValidationReport{}
+	r.Warn("Tables", "advisory only")
+	if err := r.Err(); err != nil {
+		t.Fatalf("warnings-only report produced an error: %v", err)
+	}
+}
+
+// TestLenientPredictorDegradesOnInvalidTables pins the lenient path:
+// a calibration whose delay tables fail validation must yield the p+1
+// worst case flagged Degraded with the violation as the reason, never
+// a slowdown computed from the garbage entries.
+func TestLenientPredictorDegradesOnInvalidTables(t *testing.T) {
+	cal := Calibration{
+		ToBack: Uniform(1e-3, 1e5),
+		ToHost: Uniform(1e-3, 1e5),
+		Tables: DelayTables{
+			CompOnComm: []float64{math.NaN(), 0.5},
+			CommOnComm: []float64{0.3, 0.6},
+			CommOnComp: map[int][]float64{500: {0.4, 0.9}},
+		},
+	}
+	p := NewPredictorLenient(cal)
+	cs := []Contender{{CommFraction: 0.5, MsgWords: 200}, {CommFraction: 0.2, MsgWords: 100}}
+	sets := []DataSet{{N: 10, Words: 512}}
+
+	pred, err := p.PredictCommRobust(HostToBack, sets, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred.Degraded {
+		t.Fatal("invalid tables did not degrade the comm prediction")
+	}
+	if !strings.Contains(pred.Reason, "invalid delay tables") {
+		t.Fatalf("degradation reason %q does not name the invalid tables", pred.Reason)
+	}
+	dcomm, err := p.DedicatedComm(HostToBack, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := dcomm * WorstCaseSlowdown(cs); pred.Value != want {
+		t.Fatalf("degraded value %v, want p+1 fallback %v", pred.Value, want)
+	}
+
+	comp, err := p.PredictCompRobust(1.0, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !comp.Degraded || comp.Value != WorstCaseSlowdown(cs) {
+		t.Fatalf("comp prediction %+v, want degraded p+1", comp)
+	}
+}

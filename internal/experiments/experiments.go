@@ -9,6 +9,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"contention/internal/stats"
@@ -90,8 +91,13 @@ func (r Result) Render() string {
 	for _, n := range r.Notes {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
-	for label, e := range r.ModelErrPct {
-		fmt.Fprintf(&b, "model error (%s): %.1f%%\n", label, e)
+	labels := make([]string, 0, len(r.ModelErrPct))
+	for label := range r.ModelErrPct {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		fmt.Fprintf(&b, "model error (%s): %.1f%%\n", label, r.ModelErrPct[label])
 	}
 	if r.PaperErrPct > 0 {
 		fmt.Fprintf(&b, "paper-quoted error: ≈%.0f%%\n", r.PaperErrPct)

@@ -71,7 +71,7 @@ func TestExtensionsAggregator(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"synthetic", "iochar", "phased", "multimachine", "offload", "faulttolerance"}
+	want := []string{"synthetic", "iochar", "phased", "multimachine", "offload", "faulttolerance", "caldrift"}
 	if len(results) != len(want) {
 		t.Fatalf("got %d results, want %d", len(results), len(want))
 	}
@@ -158,5 +158,46 @@ func TestFaultToleranceSmoothDegradation(t *testing.T) {
 		if act.Y[i] > deg.Y[i] {
 			t.Fatalf("rate %v: actual %.4g exceeds degraded bound %.4g", act.X[i], act.Y[i], deg.Y[i])
 		}
+	}
+}
+
+func TestCalibrationDriftDetectAndRecover(t *testing.T) {
+	r, err := CalibrationDrift(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := r.Err("pre-drift")
+	during := r.Err("undetected-drift")
+	post := r.Err("post-recal")
+	// Pre-drift the model is in its paper-accuracy regime.
+	if pre > 10 {
+		t.Fatalf("pre-drift error %.1f%%, want < 10%%", pre)
+	}
+	// The injected bandwidth drop must visibly break the model...
+	if during < pre+15 {
+		t.Fatalf("drifted error %.1f%% barely above pre-drift %.1f%% — drift too weak to test detection", during, pre)
+	}
+	// ...and recalibration must restore pre-drift accuracy.
+	if post > 10 {
+		t.Fatalf("post-recalibration error %.1f%%, want < 10%%", post)
+	}
+	if post > during/2 {
+		t.Fatalf("post-recalibration error %.1f%% did not recover from drifted %.1f%%", post, during)
+	}
+	// The residual series must show the jump at the injection window and
+	// the collapse after adoption.
+	resid, ok := r.seriesByName("residual")
+	if !ok {
+		t.Fatal("no residual series")
+	}
+	if len(resid.Y) != caldriftWindows {
+		t.Fatalf("%d residual windows, want %d", len(resid.Y), caldriftWindows)
+	}
+	if abs := resid.Y[caldriftInjectAt]; abs < 0.15 {
+		t.Fatalf("injection-window residual %.3f, want a clear jump", abs)
+	}
+	last := resid.Y[len(resid.Y)-1]
+	if last > 0.1 || last < -0.1 {
+		t.Fatalf("final residual %.3f still large after recalibration", last)
 	}
 }

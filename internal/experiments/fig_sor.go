@@ -194,6 +194,7 @@ func Extensions(env *Env) ([]Result, error) {
 		{"multimachine", func() (Result, error) { return MultiMachine(env) }},
 		{"offload", func() (Result, error) { return OffloadDecision(env) }},
 		{"faulttolerance", func() (Result, error) { return FaultTolerance(env) }},
+		{"caldrift", func() (Result, error) { return CalibrationDrift(env) }},
 	}
 	out := make([]Result, 0, len(drivers))
 	for _, d := range drivers {

@@ -126,6 +126,29 @@ var ErrInsufficientData = errors.New("monitor: insufficient samples")
 // ErrInvalidWindow is returned for a non-positive or NaN window.
 var ErrInvalidWindow = errors.New("monitor: invalid window")
 
+// ErrNonFiniteSample is returned when a sample inside the estimation
+// window carries a NaN or infinite counter — a corrupted reading must
+// surface as an error, not as NaN silently propagating into slowdowns.
+var ErrNonFiniteSample = errors.New("monitor: non-finite sample counter")
+
+// check reports which counter of the sample, if any, is not finite.
+func (s Sample) check() error {
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"At", s.At},
+		{"HostBusy", s.HostBusy},
+		{"HostLoadInt", s.HostLoadInt},
+		{"LinkBusy", s.LinkBusy},
+	} {
+		if math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+			return fmt.Errorf("%w: %s = %v at t=%v", ErrNonFiniteSample, c.name, c.v, s.At)
+		}
+	}
+	return nil
+}
+
 // EstimateWindow derives workload estimates from the samples within the
 // last `window` seconds. A window longer than the retained history falls
 // back to the oldest retained sample; gaps from dropped samples are
@@ -145,6 +168,12 @@ func (m *Monitor) EstimateWindow(window float64) (Estimate, error) {
 			first = s
 			break
 		}
+	}
+	if err := first.check(); err != nil {
+		return Estimate{}, err
+	}
+	if err := last.check(); err != nil {
+		return Estimate{}, err
 	}
 	dt := last.At - first.At
 	if dt <= 0 {
@@ -195,7 +224,7 @@ func (e Estimate) Contenders(selfJobs int) []core.Contender {
 }
 
 func clamp01(x float64) float64 {
-	if x < 0 {
+	if math.IsNaN(x) || x < 0 {
 		return 0
 	}
 	if x > 1 {

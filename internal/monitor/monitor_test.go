@@ -270,3 +270,47 @@ func TestLossFuncDropsSamplesButEstimatesSurvive(t *testing.T) {
 		t.Fatalf("utilization %v under a CPU hog with sample loss", est.HostUtilization)
 	}
 }
+
+func TestEstimateRejectsNonFiniteSamples(t *testing.T) {
+	_, sp := newSP(t)
+	m, err := New(sp, 0.1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finite := Sample{At: 1, HostBusy: 0.5, HostLoadInt: 0.5, LinkBusy: 0.2}
+	corrupt := []Sample{
+		{At: 0, HostBusy: math.NaN()},
+		{At: 0, HostLoadInt: math.Inf(1)},
+		{At: 0, LinkBusy: math.Inf(-1)},
+	}
+	for i, bad := range corrupt {
+		m.samples = []Sample{bad, finite}
+		if _, err := m.EstimateWindow(10); !errors.Is(err, ErrNonFiniteSample) {
+			t.Errorf("case %d (corrupt first): error = %v, want ErrNonFiniteSample", i, err)
+		}
+		badLast := bad
+		badLast.At = 2
+		m.samples = []Sample{{At: 0}, badLast}
+		if _, err := m.EstimateWindow(10); !errors.Is(err, ErrNonFiniteSample) {
+			t.Errorf("case %d (corrupt last): error = %v, want ErrNonFiniteSample", i, err)
+		}
+	}
+	// A NaN timestamp never matches the window cutoff; the final sample's
+	// own check must still catch it.
+	m.samples = []Sample{{At: 0}, {At: math.NaN()}}
+	if _, err := m.EstimateWindow(10); !errors.Is(err, ErrNonFiniteSample) {
+		t.Errorf("NaN timestamp: error = %v, want ErrNonFiniteSample", err)
+	}
+}
+
+func TestClamp01NaNSafe(t *testing.T) {
+	if got := clamp01(math.NaN()); got != 0 {
+		t.Fatalf("clamp01(NaN) = %v, want 0", got)
+	}
+	if got := clamp01(math.Inf(1)); got != 1 {
+		t.Fatalf("clamp01(+Inf) = %v, want 1", got)
+	}
+	if got := clamp01(math.Inf(-1)); got != 0 {
+		t.Fatalf("clamp01(-Inf) = %v, want 0", got)
+	}
+}

@@ -1,0 +1,58 @@
+package prob
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzPoissonBinomial asserts the incremental Poisson-binomial DP never
+// panics, keeps every probability in [0,1], and keeps the distribution
+// normalized — through adds and both removal algorithms.
+func FuzzPoissonBinomial(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 128, 255, 64, 32})
+	f.Add([]byte{255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 32 {
+			data = data[:32]
+		}
+		c, err := New()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range data {
+			q := float64(b) / 255
+			if err := c.Add(q); err != nil {
+				t.Fatalf("Add(%v) rejected an in-range probability: %v", q, err)
+			}
+		}
+		checkDist := func(c *Calc) {
+			sum := 0.0
+			for i, p := range c.Dist() {
+				if p < -1e-12 || p > 1+1e-12 || math.IsNaN(p) {
+					t.Fatalf("P(%d) = %v out of [0,1]", i, p)
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				t.Fatalf("distribution sums to %v, want 1", sum)
+			}
+		}
+		checkDist(c)
+		// Remove half via regeneration, half via deconvolution; the
+		// latter may decline on unstable inputs but must not corrupt c.
+		for c.N() > 0 {
+			idx := c.N() / 2
+			if c.N()%2 == 0 {
+				if err := c.Remove(idx); err != nil {
+					t.Fatalf("Remove(%d): %v", idx, err)
+				}
+			} else if err := c.RemoveDeconv(idx); err != nil {
+				if err := c.Remove(idx); err != nil {
+					t.Fatalf("fallback Remove(%d): %v", idx, err)
+				}
+			}
+			checkDist(c)
+		}
+	})
+}

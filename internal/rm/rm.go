@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 
+	"contention/internal/caltrust"
 	"contention/internal/core"
 	"contention/internal/cpu"
 	"contention/internal/des"
@@ -70,6 +71,10 @@ type Config struct {
 	// the admission queue; on expiry the request is withdrawn and Submit
 	// returns ErrSubmitTimeout. 0 = wait forever.
 	SubmitTimeout float64
+	// Trust, when non-nil, is the calibration trust tracker whose state
+	// Health() surfaces to schedulers: a scheduler consulting slowdowns
+	// built from a stale or degraded calibration should know.
+	Trust *caltrust.Tracker
 }
 
 // ErrQueueFull is returned when the bounded admission queue is at
@@ -351,6 +356,17 @@ func (m *Manager) MaxQueueLen() int { return m.maxQueueLen }
 
 // TotalWait reports the cumulative queue wait time.
 func (m *Manager) TotalWait() float64 { return m.totalWait }
+
+// Health reports the calibration trust state backing the manager's
+// slowdown answers, with a human-readable reason when not fresh. A
+// manager configured without a trust tracker reports Fresh — the seed
+// behavior, where calibrations were trusted unconditionally.
+func (m *Manager) Health() (caltrust.TrustState, string) {
+	if m.cfg.Trust == nil {
+		return caltrust.Fresh, ""
+	}
+	return m.cfg.Trust.State(), m.cfg.Trust.Reason()
+}
 
 // CommSlowdownAll evaluates the communication slowdown over the full
 // running set (what a newly arriving application would experience).

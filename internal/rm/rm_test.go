@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"contention/internal/caltrust"
 	"contention/internal/core"
 	"contention/internal/cpu"
 	"contention/internal/des"
@@ -416,5 +417,55 @@ func TestSubmitTimeoutNotFiredOnGrant(t *testing.T) {
 	}
 	if m.Rejected() != 0 {
 		t.Fatalf("Rejected = %d, want 0", m.Rejected())
+	}
+}
+
+func TestHealthSurfacesTrustState(t *testing.T) {
+	k := des.New()
+	// Without a tracker the manager trusts its calibration unconditionally.
+	m, _ := newManager(t, k, false)
+	if state, reason := m.Health(); state != caltrust.Fresh || reason != "" {
+		t.Fatalf("trackerless Health() = %v %q, want fresh", state, reason)
+	}
+
+	cal := core.Calibration{
+		ToBack: core.Uniform(1e-3, 2.5e5),
+		ToHost: core.Uniform(1.2e-3, 3e5),
+		Tables: testTables(),
+	}
+	pred, err := core.NewPredictor(cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := caltrust.NewTracker(pred, caltrust.DefaultTrackerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpp := mesh.MustNew(k, mesh.Config{Name: "p2", Nodes: 16, NodeSpeed: 1, NXBeta: 1e6})
+	mt, err := New(k, Config{Tables: testTables(), MPP: mpp, Trust: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state, _ := mt.Health(); state != caltrust.Fresh {
+		t.Fatalf("initial Health() = %v, want fresh", state)
+	}
+	// A clean baseline, then sustained under-prediction, drives the
+	// tracker stale; the manager surfaces it.
+	for i := 0; i < 5; i++ {
+		if _, err := tr.Observe(1.0, 1.01); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := tr.Observe(1.0, 1.9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	state, reason := mt.Health()
+	if state != caltrust.Stale {
+		t.Fatalf("post-drift Health() = %v, want stale", state)
+	}
+	if reason == "" {
+		t.Fatal("stale Health() carries no reason")
 	}
 }

@@ -1,0 +1,57 @@
+package stats
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// floatsFromBytes decodes data into a bounded slice of finite floats in
+// a calibration-plausible range, so the fuzzer explores fit geometry
+// rather than IEEE754 corner encodings (those are screened separately).
+func floatsFromBytes(data []byte, max int) []float64 {
+	out := make([]float64, 0, max)
+	for len(data) >= 8 && len(out) < max {
+		u := binary.LittleEndian.Uint64(data[:8])
+		data = data[8:]
+		// Map onto [-1e6, 1e6] deterministically.
+		v := float64(int64(u%2_000_001)) - 1e6
+		out = append(out, v/1.0)
+	}
+	return out
+}
+
+// FuzzFitPiecewise asserts the piecewise fitter never panics and, when
+// it claims success, returns a model with finite parameters and finite
+// residuals over its own input.
+func FuzzFitPiecewise(f *testing.F) {
+	f.Add([]byte{})
+	seed := make([]byte, 0, 6*16)
+	for _, v := range []uint64{1, 2, 3, 100, 2000, 1_500_000, 7, 7, 9, 1_999_999, 0, 42} {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		seed = append(seed, b[:]...)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals := floatsFromBytes(data, 64)
+		n := len(vals) / 2
+		xs, ys := vals[:n], vals[n:2*n]
+		fit, err := FitPiecewise(xs, ys)
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		for _, v := range []float64{fit.Threshold, fit.RMSE,
+			fit.Small.Intercept, fit.Small.Slope, fit.Large.Intercept, fit.Large.Slope} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("non-finite fit parameter %v in %+v", v, fit)
+			}
+		}
+		for i := range xs {
+			r := ys[i] - fit.Predict(xs[i])
+			if math.IsNaN(r) || math.IsInf(r, 0) {
+				t.Fatalf("non-finite residual at x=%v: %+v", xs[i], fit)
+			}
+		}
+	})
+}

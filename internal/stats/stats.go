@@ -1,14 +1,18 @@
 // Package stats provides the small statistical toolkit the contention
 // model and its calibration suite need: summaries, mean-absolute
-// percentage error, ordinary least squares, and piecewise-linear fitting
+// percentage error, ordinary least squares, piecewise-linear fitting
 // with exhaustive threshold search (the paper's method for locating the
-// Sun/Paragon 1024-word knee).
+// Sun/Paragon 1024-word knee), and the robust-estimation primitives the
+// calibration trust layer uses to harden measurements against noise:
+// trimmed means, median absolute deviation, quantiles, MAD-based
+// outlier rejection, and bootstrap confidence intervals.
 package stats
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 )
 
@@ -87,18 +91,158 @@ func Max(xs []float64) float64 {
 	return m
 }
 
+// sortedCopy returns xs sorted ascending without disturbing the
+// caller's slice. Every order statistic below goes through it so none
+// of them can mutate calibration sample buffers in place.
+func sortedCopy(xs []float64) []float64 {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return s
+}
+
 // Median returns the median of xs (average of middle two for even n).
+// The caller's slice is left untouched.
 func Median(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
+	s := sortedCopy(xs)
 	n := len(s)
 	if n%2 == 1 {
 		return s[n/2]
 	}
 	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Quantile returns the q-th quantile of xs (0 ≤ q ≤ 1) using linear
+// interpolation between order statistics (the "type 7" estimator). The
+// caller's slice is not mutated.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("stats: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("stats: quantile %v out of [0,1]", q)
+	}
+	s := sortedCopy(xs)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo], nil
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}
+
+// TrimmedMean returns the mean of xs after dropping the trim fraction
+// from each tail (trim in [0, 0.5)). trim = 0 is the plain mean; the
+// count trimmed per tail is floor(n·trim), so small samples degrade
+// gracefully to the untrimmed mean.
+func TrimmedMean(xs []float64, trim float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("stats: TrimmedMean of empty slice")
+	}
+	if trim < 0 || trim >= 0.5 || math.IsNaN(trim) {
+		return 0, fmt.Errorf("stats: trim fraction %v out of [0,0.5)", trim)
+	}
+	s := sortedCopy(xs)
+	k := int(float64(len(s)) * trim)
+	s = s[k : len(s)-k]
+	return Mean(s), nil
+}
+
+// MAD returns the median absolute deviation of xs about its median —
+// the robust scale estimate behind the calibration outlier filter. It
+// is not scaled to be consistent with the standard deviation; multiply
+// by 1.4826 for that.
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - m)
+	}
+	return Median(dev)
+}
+
+// RejectOutliersMAD returns the values of xs within k MADs of the
+// median (k is in standard-deviation-equivalent units via the 1.4826
+// consistency factor), plus the number rejected. A zero MAD — at least
+// half the samples identical, common for deterministic measurements —
+// keeps every sample: there is no scale to reject against.
+func RejectOutliersMAD(xs []float64, k float64) ([]float64, int) {
+	if len(xs) == 0 || k <= 0 {
+		return append([]float64(nil), xs...), 0
+	}
+	m := Median(xs)
+	scale := 1.4826 * MAD(xs)
+	if scale == 0 {
+		return append([]float64(nil), xs...), 0
+	}
+	kept := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if math.Abs(x-m) <= k*scale {
+			kept = append(kept, x)
+		}
+	}
+	return kept, len(xs) - len(kept)
+}
+
+// Interval is a two-sided confidence interval.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Width returns Hi - Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Contains reports whether x lies inside the interval.
+func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x <= iv.Hi }
+
+// Bootstrap estimates a confidence interval for stat(xs) by the
+// percentile bootstrap: resamples of xs with replacement are drawn with
+// a deterministic seeded RNG, stat is evaluated on each, and the
+// (1-conf)/2 and (1+conf)/2 quantiles of the resampled statistics form
+// the interval. conf is e.g. 0.95; resamples of ~200 suffice for the
+// calibration suite.
+func Bootstrap(xs []float64, stat func([]float64) float64, resamples int, conf float64, seed int64) (Interval, error) {
+	if len(xs) == 0 {
+		return Interval{}, errors.New("stats: Bootstrap of empty slice")
+	}
+	if stat == nil {
+		return Interval{}, errors.New("stats: Bootstrap with nil statistic")
+	}
+	if resamples < 2 {
+		return Interval{}, fmt.Errorf("stats: Bootstrap needs ≥ 2 resamples, got %d", resamples)
+	}
+	if conf <= 0 || conf >= 1 || math.IsNaN(conf) {
+		return Interval{}, fmt.Errorf("stats: confidence %v out of (0,1)", conf)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	buf := make([]float64, len(xs))
+	vals := make([]float64, resamples)
+	for r := range vals {
+		for i := range buf {
+			buf[i] = xs[rng.Intn(len(xs))]
+		}
+		vals[r] = stat(buf)
+	}
+	lo, err := Quantile(vals, (1-conf)/2)
+	if err != nil {
+		return Interval{}, err
+	}
+	hi, err := Quantile(vals, (1+conf)/2)
+	if err != nil {
+		return Interval{}, err
+	}
+	return Interval{Lo: lo, Hi: hi}, nil
 }
 
 // RelErr returns |predicted-actual| / actual. An actual of zero yields
