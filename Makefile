@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench fmt fuzz calibration-roundtrip
+# Label stamped into the benchmark snapshot written by `make bench`.
+LABEL ?= dev
+
+.PHONY: all build vet test race check bench benchcmp bench-smoke fmt fuzz calibration-roundtrip
 
 all: check
 
@@ -37,10 +40,26 @@ calibration-roundtrip:
 	echo "calibration-roundtrip: OK"
 
 # The full local gate: everything CI would run.
-check: build vet race fuzz calibration-roundtrip
+check: build vet race fuzz calibration-roundtrip bench-smoke
 
+# Record a benchmark snapshot: full suite with allocation stats, parsed
+# into BENCH_$(LABEL).json for later `make benchcmp` diffs.
 bench:
-	$(GO) test -bench . -benchtime 1x -run ^$$ .
+	$(GO) test -bench . -benchtime 1x -benchmem -run ^$$ . \
+		| $(GO) run ./cmd/benchjson -label $(LABEL) -o BENCH_$(LABEL).json
+
+# Diff two recorded snapshots: make benchcmp OLD=BENCH_seed.json NEW=BENCH_pr3.json
+OLD ?= BENCH_seed.json
+NEW ?= BENCH_pr3.json
+benchcmp:
+	$(GO) run ./cmd/benchjson -diff $(OLD) $(NEW)
+
+# Cheap gate: one pass of the hot-path microbenchmarks through the
+# JSON parser, proving the bench harness itself still works.
+bench-smoke:
+	$(GO) test -bench 'BenchmarkSlowdownEvaluation|BenchmarkPredictComm' -benchtime 1x -benchmem -run ^$$ . \
+		| $(GO) run ./cmd/benchjson -label smoke > /dev/null
+	@echo "bench-smoke: OK"
 
 fmt:
 	gofmt -l -w .

@@ -8,18 +8,30 @@
 package contention_test
 
 import (
+	"flag"
 	"testing"
 
 	"contention/internal/core"
 	"contention/internal/experiments"
+	"contention/internal/runner"
 	"contention/internal/stats"
 )
+
+// benchSerial forces the experiment benchmarks onto the serial path
+// (no worker pool). The default matches cmd/experiments: parallel on,
+// with output guaranteed byte-identical to serial.
+var benchSerial = flag.Bool("benchserial", false, "run experiment benchmarks without the worker pool")
+
+var benchPool = runner.New(0)
 
 func benchEnv(b *testing.B) *experiments.Env {
 	b.Helper()
 	env, err := experiments.SharedEnv()
 	if err != nil {
 		b.Fatalf("calibration failed: %v", err)
+	}
+	if !*benchSerial {
+		env = env.WithPool(benchPool)
 	}
 	return env
 }
@@ -211,6 +223,63 @@ func BenchmarkSlowdownEvaluation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = sys.CommSlowdown()
 		if _, err := sys.CompSlowdown(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictComm measures one cached end-to-end communication
+// prediction (slowdown mixture + dedicated model) for a fixed
+// contender set — the per-call cost a scheduler pays after warm-up.
+func BenchmarkPredictComm(b *testing.B) {
+	env := benchEnv(b)
+	pred := env.Pred
+	cs := []core.Contender{
+		{CommFraction: 0.40, MsgWords: 500},
+		{CommFraction: 0.25, MsgWords: 200},
+	}
+	sets := []core.DataSet{{N: 400, Words: 512}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pred.PredictComm(core.HostToBack, sets, cs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictCommBatch measures a 32-point sweep predicted through
+// the batched API: the slowdown mixture is computed once and reused for
+// every point.
+func BenchmarkPredictCommBatch(b *testing.B) {
+	env := benchEnv(b)
+	pred := env.Pred
+	cs := []core.Contender{
+		{CommFraction: 0.40, MsgWords: 500},
+		{CommFraction: 0.25, MsgWords: 200},
+	}
+	batches := make([][]core.DataSet, 32)
+	for i := range batches {
+		batches[i] = []core.DataSet{{N: 400, Words: 64 * (i + 1)}}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pred.PredictCommBatch(core.HostToBack, batches, cs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuite regenerates the full paper evaluation (tables and
+// figures 1–8) through the experiment engine — the headline wall-clock
+// number the worker pool exists for. Compare with and without
+// -benchserial to see the fan-out win.
+func BenchmarkSuite(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.All(env); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,226 @@
+// Command benchjson converts `go test -bench` output into a stable
+// JSON snapshot and diffs two snapshots. It is the engine behind
+// `make bench` (which records BENCH_<label>.json) and `make benchcmp`.
+//
+// Usage:
+//
+//	go test -bench . -benchmem | benchjson -label pr3 -o BENCH_pr3.json
+//	benchjson -diff BENCH_seed.json BENCH_pr3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark's results: the iteration count plus every
+// reported metric (ns/op, B/op, allocs/op, and custom b.ReportMetric
+// units such as err%).
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is a labelled set of benchmark results.
+type Snapshot struct {
+	Label      string      `json:"label"`
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	label := flag.String("label", "", "snapshot label recorded in the JSON")
+	out := flag.String("o", "", "output file (default stdout)")
+	diff := flag.Bool("diff", false, "diff two snapshot files given as arguments")
+	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -diff OLD.json NEW.json")
+			os.Exit(2)
+		}
+		if err := diffSnapshots(os.Stdout, flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	snap, err := parseBench(os.Stdin, *label)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+	}
+}
+
+// parseBench reads `go test -bench` text and extracts every benchmark
+// line. A line looks like
+//
+//	BenchmarkFigure1-4   1   15816848 ns/op   2.105 err%   384 B/op   16 allocs/op
+//
+// i.e. name, iteration count, then (value, unit) pairs.
+func parseBench(r io.Reader, label string) (Snapshot, error) {
+	snap := Snapshot{Label: label}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			snap.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			snap.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		bm := Benchmark{
+			// Strip the -GOMAXPROCS suffix so snapshots from hosts with
+			// different core counts diff cleanly.
+			Name:       stripProcSuffix(fields[0]),
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			bm.Metrics[fields[i+1]] = v
+		}
+		if ok {
+			snap.Benchmarks = append(snap.Benchmarks, bm)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Snapshot{}, err
+	}
+	sort.Slice(snap.Benchmarks, func(i, j int) bool {
+		return snap.Benchmarks[i].Name < snap.Benchmarks[j].Name
+	})
+	return snap, nil
+}
+
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// diffSnapshots prints a per-benchmark, per-metric comparison of two
+// snapshot files, with the relative change for each shared metric.
+func diffSnapshots(w io.Writer, oldPath, newPath string) error {
+	oldSnap, err := readSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newSnap, err := readSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := map[string]Benchmark{}
+	for _, b := range oldSnap.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	fmt.Fprintf(w, "benchmark diff: %s (%s) -> %s (%s)\n",
+		oldSnap.Label, oldPath, newSnap.Label, newPath)
+	tw := bufio.NewWriter(w)
+	defer tw.Flush()
+	for _, nb := range newSnap.Benchmarks {
+		ob, found := oldBy[nb.Name]
+		if !found {
+			fmt.Fprintf(tw, "%-40s  (new benchmark)\n", nb.Name)
+			continue
+		}
+		delete(oldBy, nb.Name)
+		units := make([]string, 0, len(nb.Metrics))
+		for u := range nb.Metrics {
+			if _, ok := ob.Metrics[u]; ok {
+				units = append(units, u)
+			}
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			ov, nv := ob.Metrics[u], nb.Metrics[u]
+			change := "~"
+			if ov != 0 {
+				change = fmt.Sprintf("%+.1f%%", 100*(nv-ov)/ov)
+			}
+			fmt.Fprintf(tw, "%-40s %12s  %14.4g -> %-14.4g %s\n", nb.Name, u, ov, nv, change)
+		}
+	}
+	dropped := make([]string, 0, len(oldBy))
+	for name := range oldBy {
+		dropped = append(dropped, name)
+	}
+	sort.Strings(dropped)
+	for _, name := range dropped {
+		fmt.Fprintf(tw, "%-40s  (removed benchmark)\n", name)
+	}
+	return nil
+}
+
+func readSnapshot(path string) (Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

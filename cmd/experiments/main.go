@@ -15,8 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"contention/internal/experiments"
+	"contention/internal/runner"
 )
 
 func main() {
@@ -24,8 +27,40 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	extensions := flag.Bool("extensions", false, "also run the extension experiments (synthetic suite, I/O, phased, multi-machine)")
 	asJSON := flag.Bool("json", false, "emit results as a JSON array instead of text tables")
+	parallel := flag.Bool("parallel", true, "fan experiment drivers and sweeps out on a worker pool (output is byte-identical to serial)")
+	workers := flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	defer exitOnPanic()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}()
+	}
 
 	ids := []string{"table1-2", "table3", "table4", "figure1", "figure2",
 		"figure3", "figure4", "figure5", "figure6", "figure7", "figure8",
@@ -43,6 +78,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "calibration failed:", err)
 		os.Exit(1)
+	}
+	if *parallel {
+		env = env.WithPool(runner.New(*workers))
 	}
 	results, err := experiments.All(env)
 	if err != nil {

@@ -1,0 +1,48 @@
+package core
+
+import "testing"
+
+// TestPredictCommAllocationFree is the regression test for the
+// hot-path copy audit: after the first call warms the slowdown cache
+// for a contender set, PredictComm must not allocate at all — a
+// scheduler may evaluate it on every placement decision.
+func TestPredictCommAllocationFree(t *testing.T) {
+	p, err := NewPredictor(fullCalibration())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := robustContenders()
+	sets := []DataSet{{N: 400, Words: 512}}
+	// Warm the cache for this contender multiset.
+	if _, err := p.PredictComm(HostToBack, sets, cs); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := p.PredictComm(HostToBack, sets, cs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm PredictComm allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestPredictCompAllocationFree: same contract for the computation path.
+func TestPredictCompAllocationFree(t *testing.T) {
+	p, err := NewPredictor(fullCalibration())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := robustContenders()
+	if _, err := p.PredictComp(2, cs); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := p.PredictComp(2, cs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm PredictComp allocates %.1f objects/op, want 0", allocs)
+	}
+}

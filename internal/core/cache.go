@@ -1,0 +1,201 @@
+// Slowdown-kernel caching. The paper's mixture slowdowns are pure
+// functions of (delay tables, contender multiset, j column); the
+// experiment drivers and any scheduler hammering the model evaluate
+// them over and over with the contender set unchanged across an entire
+// message-size sweep. slowdownCache memoizes the mixtures keyed on the
+// contender-probability multiset (+ j for the computation mixture) and
+// reuses the Poisson-binomial DP scratch buffers, turning the hot path
+// into a map probe with zero allocations after warm-up.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// slowdownCache memoizes mixture slowdowns for one fixed DelayTables.
+// It is goroutine-safe: one mutex guards both maps and the scratch
+// buffers, so concurrent predictor users serialize only for the
+// microseconds of a key build or a DP rebuild.
+//
+// Keying/invalidation contract: entries are keyed by the contender
+// multiset (order-insensitive) and, for the computation mixture, the j
+// column. The tables themselves are NOT part of the key — a cache must
+// be owned by exactly one immutable calibration (the Predictor's).
+// Recalibration therefore invalidates by construction: it produces a
+// new Predictor and with it an empty cache. MarkStale does not touch
+// the cache either, because staleness redirects the Robust methods to
+// the p+1 fallback before any cached value is consulted; the cached
+// mixtures remain correct for the calibration they were computed from.
+type slowdownCache struct {
+	mu   sync.Mutex
+	comm map[string]float64
+	comp map[string]float64
+	// scratch buffers reused across calls (guarded by mu)
+	key      []byte
+	sorted   []Contender
+	compDist []float64
+	commDist []float64
+}
+
+func newSlowdownCache() *slowdownCache {
+	return &slowdownCache{
+		comm: make(map[string]float64),
+		comp: make(map[string]float64),
+	}
+}
+
+// appendKey canonicalizes the contender multiset into c.key: contenders
+// are insertion-sorted (the sets are small) into c.sorted so that
+// permutations of the same multiset share one entry, then the fields
+// are encoded as raw float bits. kind and j disambiguate the mixture.
+// Both scratch slices are reused; the caller must hold c.mu.
+func (c *slowdownCache) appendKey(kind byte, j int, cs []Contender) {
+	c.sorted = append(c.sorted[:0], cs...)
+	for i := 1; i < len(c.sorted); i++ {
+		for k := i; k > 0 && lessContender(c.sorted[k], c.sorted[k-1]); k-- {
+			c.sorted[k], c.sorted[k-1] = c.sorted[k-1], c.sorted[k]
+		}
+	}
+	c.key = append(c.key[:0], kind)
+	c.key = binary.LittleEndian.AppendUint64(c.key, uint64(j))
+	for _, ct := range c.sorted {
+		c.key = binary.LittleEndian.AppendUint64(c.key, math.Float64bits(ct.CommFraction))
+		c.key = binary.LittleEndian.AppendUint64(c.key, math.Float64bits(ct.IOFraction))
+		c.key = binary.LittleEndian.AppendUint64(c.key, uint64(ct.MsgWords))
+	}
+}
+
+func lessContender(a, b Contender) bool {
+	if a.CommFraction != b.CommFraction {
+		return a.CommFraction < b.CommFraction
+	}
+	if a.IOFraction != b.IOFraction {
+		return a.IOFraction < b.IOFraction
+	}
+	return a.MsgWords < b.MsgWords
+}
+
+// distributions rebuilds the pcomp/pcomm Poisson-binomial distributions
+// into the cache's scratch buffers. The caller must hold c.mu.
+func (c *slowdownCache) distributions(cs []Contender) error {
+	for _, ct := range cs {
+		if err := ct.Validate(); err != nil {
+			return err
+		}
+	}
+	var err error
+	c.compDist, err = appendDistFractions(c.compDist, cs, Contender.CompFraction)
+	if err != nil {
+		return err
+	}
+	c.commDist, err = appendDistFractions(c.commDist, cs, func(ct Contender) float64 { return ct.CommFraction })
+	return err
+}
+
+// appendDistFractions is prob.AppendDistribution over a derived
+// per-contender probability, avoiding a staging slice. Contenders must
+// already be validated (the fractions are then guaranteed in [0,1]).
+func appendDistFractions(dst []float64, cs []Contender, q func(Contender) float64) ([]float64, error) {
+	dst = append(dst[:0], 1)
+	for _, ct := range cs {
+		p := q(ct)
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return nil, fmt.Errorf("core: activity probability %v out of [0,1]", p)
+		}
+		n := len(dst)
+		dst = append(dst, 0)
+		for i := n - 1; i >= 0; i-- {
+			dst[i+1] += dst[i] * p
+			dst[i] *= 1 - p
+		}
+	}
+	return dst, nil
+}
+
+// commSlowdown returns the communication-slowdown mixture for cs,
+// computing and memoizing it on first sight of the multiset.
+func (c *slowdownCache) commSlowdown(cs []Contender, t DelayTables) (float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.appendKey('m', 0, cs)
+	if s, ok := c.comm[string(c.key)]; ok {
+		return s, nil
+	}
+	if err := c.distributions(cs); err != nil {
+		return 0, err
+	}
+	s := 1.0
+	for i := 1; i <= len(cs); i++ {
+		s += c.compDist[i] * lookup(t.CompOnComm, i)
+		s += c.commDist[i] * lookup(t.CommOnComm, i)
+	}
+	c.comm[string(c.key)] = s
+	return s, nil
+}
+
+// compSlowdownWithJ returns the computation-slowdown mixture for cs
+// using the delay^{i,j} column nearest j (resolved against jGrid, the
+// predictor's precomputed ascending column list), memoized per
+// (multiset, resolved column).
+func (c *slowdownCache) compSlowdownWithJ(cs []Contender, t DelayTables, jGrid []int, j int) (float64, error) {
+	// Resolve j to its calibrated column first so that all message sizes
+	// mapping to one column share a cache entry.
+	col := 0
+	anyComm := false
+	for _, ct := range cs {
+		if ct.CommFraction > 0 {
+			anyComm = true
+			break
+		}
+	}
+	if anyComm {
+		var err error
+		col, err = nearestJ(jGrid, j)
+		if err != nil {
+			return 0, err
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.appendKey('p', col, cs)
+	if s, ok := c.comp[string(c.key)]; ok {
+		return s, nil
+	}
+	if err := c.distributions(cs); err != nil {
+		return 0, err
+	}
+	s := 1.0
+	for i := 1; i <= len(cs); i++ {
+		s += c.compDist[i] * float64(i)
+		if p := c.commDist[i]; p > 0 {
+			s += p * lookup(t.CommOnComp[col], i)
+		}
+	}
+	c.comp[string(c.key)] = s
+	return s, nil
+}
+
+// nearestJ is DelayTables.NearestJ over a precomputed ascending grid,
+// allocation-free.
+func nearestJ(grid []int, words int) (int, error) {
+	if len(grid) == 0 {
+		return 0, errNoJColumns
+	}
+	bestJ, bestDist := 0, math.MaxInt
+	for _, j := range grid {
+		if j == 1 && words >= smallMessageLimit && len(grid) > 1 {
+			continue
+		}
+		d := j - words
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDist {
+			bestJ, bestDist = j, d
+		}
+	}
+	return bestJ, nil
+}

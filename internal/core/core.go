@@ -232,13 +232,17 @@ func (t DelayTables) JGrid() []int {
 	return grid
 }
 
+// errNoJColumns is the shared "no delay^{i,j} columns" failure, reused
+// by the cached kernel so both paths return the identical error.
+var errNoJColumns = errors.New("core: no delay^{i,j} columns calibrated")
+
 // NearestJ selects the calibrated j column closest to the requested
 // message size, applying the paper's footnote: the j=1 column is only
 // eligible when the size is below 95 words.
 func (t DelayTables) NearestJ(words int) (int, error) {
 	grid := t.JGrid()
 	if len(grid) == 0 {
-		return 0, errors.New("core: no delay^{i,j} columns calibrated")
+		return 0, errNoJColumns
 	}
 	bestJ, bestDist := 0, math.MaxInt
 	for _, j := range grid {

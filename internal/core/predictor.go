@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Direction names a transfer direction across the platform link.
@@ -56,10 +57,35 @@ func (c Calibration) Validate() error { return c.ValidateReport().Err() }
 // Predictor produces slowdown-adjusted cost predictions from a
 // calibration and a contender set. It is the façade a scheduler uses to
 // rank candidate allocations.
+//
+// A Predictor is goroutine-safe: its calibration is immutable, per-call
+// state lives in an internal slowdown cache guarded by a mutex, and the
+// staleness mark is synchronized. Many scheduler goroutines (or the
+// parallel experiment runner) may share one Predictor; they also share
+// its memoized slowdown kernels.
 type Predictor struct {
 	cal    Calibration
-	stale  string            // non-empty: calibration marked stale, reason attached
 	report *ValidationReport // validation findings captured at construction
+
+	// Derived at construction so the prediction hot path never rebuilds
+	// a validation report or re-sorts the calibrated j columns.
+	cache     *slowdownCache
+	jGrid     []int
+	tablesErr error    // fatal delay-table violations, if any
+	modelErr  [2]error // per-direction comm-model validation result
+
+	staleMu sync.Mutex
+	stale   string // non-empty: calibration marked stale, reason attached
+}
+
+// initDerived populates the construction-time caches shared by the
+// strict and lenient constructors.
+func (p *Predictor) initDerived() {
+	p.cache = newSlowdownCache()
+	p.jGrid = p.cal.Tables.JGrid()
+	p.tablesErr = p.cal.Tables.Validate()
+	p.modelErr[HostToBack] = p.cal.ToBack.Validate()
+	p.modelErr[BackToHost] = p.cal.ToHost.Validate()
 }
 
 // NewPredictor validates the calibration and returns a predictor. On
@@ -69,7 +95,9 @@ func NewPredictor(cal Calibration) (*Predictor, error) {
 	if err := report.Err(); err != nil {
 		return nil, err
 	}
-	return &Predictor{cal: cal, report: report}, nil
+	p := &Predictor{cal: cal, report: report}
+	p.initDerived()
+	return p, nil
 }
 
 // NewPredictorLenient accepts a possibly incomplete or invalid
@@ -81,7 +109,9 @@ func NewPredictor(cal Calibration) (*Predictor, error) {
 // wrong. Use it when a scheduler must keep ranking allocations even
 // though the calibration suite has not (fully or correctly) run.
 func NewPredictorLenient(cal Calibration) *Predictor {
-	return &Predictor{cal: cal, report: cal.ValidateReport()}
+	p := &Predictor{cal: cal, report: cal.ValidateReport()}
+	p.initDerived()
+	return p
 }
 
 // ValidationReport returns the validation findings recorded when the
@@ -119,21 +149,53 @@ func (p *Predictor) DedicatedComm(dir Direction, sets []DataSet) (float64, error
 	}
 	// Guard lenient predictors: an invalid α/β fit must error here, not
 	// price transfers at Inf/NaN (worst-case pessimism can stand in for
-	// missing delay tables, but not for a missing cost model).
-	if err := m.Validate(); err != nil {
+	// missing delay tables, but not for a missing cost model). The
+	// verdict was captured at construction; the hot path only consults it.
+	if err := p.modelErr[dir]; err != nil {
 		return 0, err
 	}
 	return m.Dedicated(sets)
 }
 
+// commSlowdown is the memoized CommSlowdown over the predictor's
+// (immutable) delay tables.
+func (p *Predictor) commSlowdown(cs []Contender) (float64, error) {
+	if p.tablesErr != nil {
+		return 0, p.tablesErr
+	}
+	return p.cache.commSlowdown(cs, p.cal.Tables)
+}
+
+// compSlowdownWithJ is the memoized CompSlowdownWithJ analogue.
+func (p *Predictor) compSlowdownWithJ(cs []Contender, j int) (float64, error) {
+	if p.tablesErr != nil {
+		return 0, p.tablesErr
+	}
+	return p.cache.compSlowdownWithJ(cs, p.cal.Tables, p.jGrid, j)
+}
+
+// compSlowdown resolves the paper's auto-j rule (the maximum contender
+// message size) and evaluates the memoized computation slowdown.
+func (p *Predictor) compSlowdown(cs []Contender) (float64, error) {
+	j := 0
+	for _, c := range cs {
+		if c.MsgWords > j {
+			j = c.MsgWords
+		}
+	}
+	return p.compSlowdownWithJ(cs, j)
+}
+
 // PredictComm returns the slowdown-adjusted communication cost
-// C = dcomm × slowdown for the given contender set.
+// C = dcomm × slowdown for the given contender set. The slowdown
+// mixture is memoized on the contender multiset, so sweeping message
+// sizes against a fixed contender set costs one DP total.
 func (p *Predictor) PredictComm(dir Direction, sets []DataSet, cs []Contender) (float64, error) {
 	dcomm, err := p.DedicatedComm(dir, sets)
 	if err != nil {
 		return 0, err
 	}
-	s, err := CommSlowdown(cs, p.cal.Tables)
+	s, err := p.commSlowdown(cs)
 	if err != nil {
 		return 0, err
 	}
@@ -146,7 +208,7 @@ func (p *Predictor) PredictComp(dcomp float64, cs []Contender) (float64, error) 
 	if dcomp < 0 {
 		return 0, errors.New("core: negative dedicated computation time")
 	}
-	s, err := CompSlowdown(cs, p.cal.Tables)
+	s, err := p.compSlowdown(cs)
 	if err != nil {
 		return 0, err
 	}
@@ -158,11 +220,78 @@ func (p *Predictor) PredictCompWithJ(dcomp float64, cs []Contender, j int) (floa
 	if dcomp < 0 {
 		return 0, errors.New("core: negative dedicated computation time")
 	}
-	s, err := CompSlowdownWithJ(cs, p.cal.Tables, j)
+	s, err := p.compSlowdownWithJ(cs, j)
 	if err != nil {
 		return 0, err
 	}
 	return dcomp * s, nil
+}
+
+// CommSlowdown is the memoized communication-slowdown mixture for the
+// predictor's calibration (the package-level CommSlowdown, cached on
+// the contender multiset).
+func (p *Predictor) CommSlowdown(cs []Contender) (float64, error) { return p.commSlowdown(cs) }
+
+// CompSlowdown is the memoized computation-slowdown mixture with the
+// paper's auto-selected j (maximum contender message size).
+func (p *Predictor) CompSlowdown(cs []Contender) (float64, error) { return p.compSlowdown(cs) }
+
+// CompSlowdownWithJ is CompSlowdown with an explicit j column.
+func (p *Predictor) CompSlowdownWithJ(cs []Contender, j int) (float64, error) {
+	return p.compSlowdownWithJ(cs, j)
+}
+
+// --- Batched prediction ------------------------------------------------------
+
+// PredictCommBatch prices a whole grid of transfers (one []DataSet per
+// grid point, e.g. a message-size sweep) under one contender set,
+// evaluating the slowdown mixture exactly once and amortizing it over
+// the grid. Result k corresponds to batches[k].
+func (p *Predictor) PredictCommBatch(dir Direction, batches [][]DataSet, cs []Contender) ([]float64, error) {
+	s, err := p.commSlowdown(cs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(batches))
+	for k, sets := range batches {
+		dcomm, err := p.DedicatedComm(dir, sets)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = dcomm * s
+	}
+	return out, nil
+}
+
+// PredictCompBatch predicts a grid of dedicated computation times under
+// one contender set with a single slowdown evaluation (auto-selected j,
+// per the paper's maximum-message-size rule).
+func (p *Predictor) PredictCompBatch(dcomps []float64, cs []Contender) ([]float64, error) {
+	s, err := p.compSlowdown(cs)
+	if err != nil {
+		return nil, err
+	}
+	return scaleBatch(dcomps, s)
+}
+
+// PredictCompBatchWithJ is PredictCompBatch with an explicit j column.
+func (p *Predictor) PredictCompBatchWithJ(dcomps []float64, cs []Contender, j int) ([]float64, error) {
+	s, err := p.compSlowdownWithJ(cs, j)
+	if err != nil {
+		return nil, err
+	}
+	return scaleBatch(dcomps, s)
+}
+
+func scaleBatch(dcomps []float64, s float64) ([]float64, error) {
+	out := make([]float64, len(dcomps))
+	for k, d := range dcomps {
+		if d < 0 {
+			return nil, errors.New("core: negative dedicated computation time")
+		}
+		out[k] = d * s
+	}
+	return out, nil
 }
 
 // --- Graceful degradation ---------------------------------------------------
@@ -192,14 +321,24 @@ func (p *Predictor) MarkStale(reason string) {
 	if reason == "" {
 		reason = "calibration marked stale"
 	}
+	p.staleMu.Lock()
 	p.stale = reason
+	p.staleMu.Unlock()
 }
 
 // ClearStale removes the staleness mark (after recalibration).
-func (p *Predictor) ClearStale() { p.stale = "" }
+func (p *Predictor) ClearStale() {
+	p.staleMu.Lock()
+	p.stale = ""
+	p.staleMu.Unlock()
+}
 
 // Stale reports the staleness reason ("" when fresh).
-func (p *Predictor) Stale() string { return p.stale }
+func (p *Predictor) Stale() string {
+	p.staleMu.Lock()
+	defer p.staleMu.Unlock()
+	return p.stale
+}
 
 // tablesInvalidReason returns a degradation reason when the validation
 // report recorded at construction shows fatal violations in the delay
@@ -220,8 +359,8 @@ func (p *Predictor) tablesInvalidReason() string {
 // degradeReasonComm reports why the communication slowdown cannot be
 // trusted, or "" when the tables support it.
 func (p *Predictor) degradeReasonComm(cs []Contender) string {
-	if p.stale != "" {
-		return "stale calibration: " + p.stale
+	if stale := p.Stale(); stale != "" {
+		return "stale calibration: " + stale
 	}
 	if reason := p.tablesInvalidReason(); reason != "" {
 		return reason
@@ -239,8 +378,8 @@ func (p *Predictor) degradeReasonComm(cs []Contender) string {
 
 // degradeReasonComp is the computation-slowdown analogue.
 func (p *Predictor) degradeReasonComp(cs []Contender) string {
-	if p.stale != "" {
-		return "stale calibration: " + p.stale
+	if stale := p.Stale(); stale != "" {
+		return "stale calibration: " + stale
 	}
 	if reason := p.tablesInvalidReason(); reason != "" {
 		return reason
@@ -279,7 +418,7 @@ func (p *Predictor) PredictCommRobust(dir Direction, sets []DataSet, cs []Conten
 	if reason := p.degradeReasonComm(cs); reason != "" {
 		return Prediction{Value: dcomm * WorstCaseSlowdown(cs), Degraded: true, Reason: reason}, nil
 	}
-	s, err := CommSlowdown(cs, p.cal.Tables)
+	s, err := p.commSlowdown(cs)
 	if err != nil {
 		return Prediction{Value: dcomm * WorstCaseSlowdown(cs), Degraded: true, Reason: err.Error()}, nil
 	}
@@ -295,7 +434,7 @@ func (p *Predictor) PredictCompRobust(dcomp float64, cs []Contender) (Prediction
 	if reason := p.degradeReasonComp(cs); reason != "" {
 		return Prediction{Value: dcomp * WorstCaseSlowdown(cs), Degraded: true, Reason: reason}, nil
 	}
-	s, err := CompSlowdown(cs, p.cal.Tables)
+	s, err := p.compSlowdown(cs)
 	if err != nil {
 		return Prediction{Value: dcomp * WorstCaseSlowdown(cs), Degraded: true, Reason: err.Error()}, nil
 	}

@@ -18,6 +18,7 @@ type System struct {
 	comp       *prob.Calc // activity = computing
 	comm       *prob.Calc // activity = communicating
 	tables     DelayTables
+	jGrid      []int // ascending CommOnComp columns, fixed at construction
 }
 
 // NewSystem returns an empty system using the given delay tables.
@@ -29,6 +30,7 @@ func NewSystem(tables DelayTables) (*System, error) {
 		comp:   prob.MustNew(),
 		comm:   prob.MustNew(),
 		tables: tables,
+		jGrid:  tables.JGrid(),
 	}, nil
 }
 
@@ -100,17 +102,23 @@ func (s *System) CompSlowdown() (float64, error) {
 }
 
 // CompSlowdownWithJ evaluates the computation slowdown with an explicit
-// j column.
+// j column. The nearest calibrated column is resolved once against the
+// grid fixed at construction, keeping the evaluation allocation-free.
 func (s *System) CompSlowdownWithJ(j int) (float64, error) {
+	col, colErr := 0, error(nil)
+	resolved := false
 	out := 1.0
 	for i := 1; i <= len(s.contenders); i++ {
 		out += s.comp.P(i) * float64(i)
 		if p := s.comm.P(i); p > 0 {
-			d, err := s.tables.CommOnCompDelay(i, j)
-			if err != nil {
-				return 0, err
+			if !resolved {
+				col, colErr = nearestJ(s.jGrid, j)
+				resolved = true
 			}
-			out += p * d
+			if colErr != nil {
+				return 0, colErr
+			}
+			out += p * lookup(s.tables.CommOnComp[col], i)
 		}
 	}
 	return out, nil

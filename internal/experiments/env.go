@@ -6,6 +6,7 @@ import (
 	"contention/internal/calibrate"
 	"contention/internal/core"
 	"contention/internal/platform"
+	"contention/internal/runner"
 )
 
 // Env bundles the platform parameters and the calibrations every driver
@@ -21,7 +22,20 @@ type Env struct {
 	CM2Model core.CommModel
 	// Opts records the calibration options used.
 	Opts calibrate.Options
+	// Pred is the shared predictor over Cal. It is goroutine-safe and
+	// memoizes slowdown mixtures, so every driver drawing from it
+	// amortizes the Poisson-binomial DP across the whole suite.
+	Pred *core.Predictor
+	// Pool is the worker pool drivers fan sweep points out on. nil (or
+	// runner.Serial()) runs everything inline; the parallel pool
+	// produces byte-identical results in the same order, because every
+	// sweep point simulates on its own DES kernel with locally seeded
+	// RNGs and results are assembled by index.
+	Pool *runner.Pool
 }
+
+// pool returns the fan-out pool, defaulting to serial.
+func (e *Env) pool() *runner.Pool { return e.Pool }
 
 // NewEnv calibrates both platforms and returns the shared environment.
 func NewEnv() (*Env, error) {
@@ -36,12 +50,17 @@ func NewEnv() (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
+	pred, err := core.NewPredictor(cal)
+	if err != nil {
+		return nil, err
+	}
 	return &Env{
 		ParagonParams: pparams,
 		CM2Params:     cm2Params,
 		Cal:           cal,
 		CM2Model:      cm2Model,
 		Opts:          opts,
+		Pred:          pred,
 	}, nil
 }
 
@@ -52,8 +71,17 @@ var (
 )
 
 // SharedEnv returns a lazily created process-wide Env, so tests and
-// benchmarks pay the calibration cost once.
+// benchmarks pay the calibration cost once. The shared Env is serial;
+// use WithPool for a parallel view of it.
 func SharedEnv() (*Env, error) {
 	sharedOnce.Do(func() { sharedEnv, sharedErr = NewEnv() })
 	return sharedEnv, sharedErr
+}
+
+// WithPool returns a shallow copy of the Env that fans out on p. The
+// calibrations and the memoized predictor stay shared.
+func (e *Env) WithPool(p *runner.Pool) *Env {
+	c := *e
+	c.Pool = p
+	return &c
 }

@@ -54,6 +54,23 @@ func (r Result) seriesByName(name string) (Series, bool) {
 // Err returns the recorded model error for a comparison label.
 func (r Result) Err(label string) float64 { return r.ModelErrPct[label] }
 
+// sharedGrid reports whether every series has exactly the X grid of
+// the first (same length, same values) and a matching Y per point.
+func (r Result) sharedGrid() bool {
+	base := r.Series[0].X
+	for _, s := range r.Series {
+		if len(s.X) != len(base) || len(s.Y) != len(base) {
+			return false
+		}
+		for i, x := range s.X {
+			if x != base[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Render formats the result as an aligned text table (one row per x,
 // one column per series), followed by notes and error lines.
 func (r Result) Render() string {
@@ -65,24 +82,32 @@ func (r Result) Render() string {
 			b.WriteByte('\n')
 		}
 	}
-	if len(r.Series) > 0 {
-		// Header.
+	switch {
+	case len(r.Series) > 0 && r.sharedGrid():
+		// All series share one X grid: one row per x, one column per
+		// series.
 		fmt.Fprintf(&b, "%12s", r.XLabel)
 		for _, s := range r.Series {
 			fmt.Fprintf(&b, "  %14s", s.Name)
 		}
 		b.WriteByte('\n')
-		// Assume all series share the X grid of the first (drivers
-		// guarantee it); rows with missing points print blanks.
-		if len(r.Series[0].X) > 0 {
-			for i, x := range r.Series[0].X {
+		for i, x := range r.Series[0].X {
+			fmt.Fprintf(&b, "%12.4g", x)
+			for _, s := range r.Series {
+				fmt.Fprintf(&b, "  %14.6g", s.Y[i])
+			}
+			b.WriteByte('\n')
+		}
+	case len(r.Series) > 0:
+		// Ragged X grids: a shared table would silently drop or
+		// misalign points, so render every series as its own block.
+		for _, s := range r.Series {
+			fmt.Fprintf(&b, "-- %s --\n", s.Name)
+			fmt.Fprintf(&b, "%12s  %14s\n", r.XLabel, s.Name)
+			for i, x := range s.X {
 				fmt.Fprintf(&b, "%12.4g", x)
-				for _, s := range r.Series {
-					if i < len(s.Y) {
-						fmt.Fprintf(&b, "  %14.6g", s.Y[i])
-					} else {
-						fmt.Fprintf(&b, "  %14s", "")
-					}
+				if i < len(s.Y) {
+					fmt.Fprintf(&b, "  %14.6g", s.Y[i])
 				}
 				b.WriteByte('\n')
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -9,6 +10,7 @@ import (
 	"contention/internal/faults"
 	"contention/internal/monitor"
 	"contention/internal/platform"
+	"contention/internal/runner"
 	"contention/internal/workload"
 )
 
@@ -108,15 +110,11 @@ var faultRates = []float64{0, 0.05, 0.1, 0.2, 0.4}
 func FaultTolerance(env *Env) (Result, error) {
 	const count, words = 400, 512
 	_, cs := figure56Contenders()
-	slowdown, err := core.CommSlowdown(cs, env.Cal.Tables)
+	slowdown, err := env.Pred.CommSlowdown(cs)
 	if err != nil {
 		return Result{}, err
 	}
-	pred, err := core.NewPredictor(env.Cal)
-	if err != nil {
-		return Result{}, err
-	}
-	dcomm, err := pred.DedicatedComm(core.HostToBack, []core.DataSet{{N: count, Words: words}})
+	dcomm, err := env.Pred.DedicatedComm(core.HostToBack, []core.DataSet{{N: count, Words: words}})
 	if err != nil {
 		return Result{}, err
 	}
@@ -137,13 +135,19 @@ func FaultTolerance(env *Env) (Result, error) {
 		XLabel: "fault rate",
 		YLabel: "seconds",
 	}
+	// Every fault intensity runs its own seeded injector on a private
+	// kernel: the sweep fans out on the pool.
+	runs, err := runner.Map(context.Background(), env.pool(), faultRates,
+		func(_ context.Context, _ int, rate float64) (faultRun, error) {
+			return faultyBurst(env.ParagonParams, count, words, rate, faultToleranceSeed)
+		})
+	if err != nil {
+		return Result{}, err
+	}
 	var xs, actual, modeled, degradedYs, errPct []float64
 	var notes []string
-	for _, rate := range faultRates {
-		run, err := faultyBurst(env.ParagonParams, count, words, rate, faultToleranceSeed)
-		if err != nil {
-			return Result{}, err
-		}
+	for i, rate := range faultRates {
+		run := runs[i]
 		xs = append(xs, rate)
 		actual = append(actual, run.elapsed)
 		modeled = append(modeled, dcomm*slowdown)

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"contention/internal/apps"
 	"contention/internal/core"
 	"contention/internal/des"
 	"contention/internal/platform"
+	"contention/internal/runner"
 	"contention/internal/trace"
 	"contention/internal/workload"
 )
@@ -56,19 +58,31 @@ func Figure1(env *Env) (Result, error) {
 		YLabel:      "seconds",
 		PaperErrPct: 11,
 	}
+	type point struct{ dcomm, ded, con float64 }
+	pts, err := runner.Map(context.Background(), env.pool(), ms,
+		func(_ context.Context, _ int, m int) (point, error) {
+			sets := []core.DataSet{{N: 2 * m, Words: m}} // to and from
+			dcomm, err := env.CM2Model.Dedicated(sets)
+			if err != nil {
+				return point{}, err
+			}
+			return point{
+				dcomm: dcomm,
+				ded:   cm2TransferElapsed(env, m, 0),
+				con:   cm2TransferElapsed(env, m, 3),
+			}, nil
+		})
+	if err != nil {
+		return Result{}, err
+	}
 	var xs []float64
 	series := map[string][]float64{}
-	for _, m := range ms {
+	for i, m := range ms {
 		xs = append(xs, float64(m))
-		sets := []core.DataSet{{N: 2 * m, Words: m}} // to and from
-		dcomm, err := env.CM2Model.Dedicated(sets)
-		if err != nil {
-			return Result{}, err
-		}
-		series["model p=0"] = append(series["model p=0"], core.CM2CommTime(dcomm, 0))
-		series["actual p=0"] = append(series["actual p=0"], cm2TransferElapsed(env, m, 0))
-		series["model p=3"] = append(series["model p=3"], core.CM2CommTime(dcomm, 3))
-		series["actual p=3"] = append(series["actual p=3"], cm2TransferElapsed(env, m, 3))
+		series["model p=0"] = append(series["model p=0"], core.CM2CommTime(pts[i].dcomm, 0))
+		series["actual p=0"] = append(series["actual p=0"], pts[i].ded)
+		series["model p=3"] = append(series["model p=3"], core.CM2CommTime(pts[i].dcomm, 3))
+		series["actual p=3"] = append(series["actual p=3"], pts[i].con)
 	}
 	for _, name := range []string{"model p=0", "actual p=0", "model p=3", "actual p=3"} {
 		r.Series = append(r.Series, Series{Name: name, X: xs, Y: series[name]})
@@ -166,20 +180,31 @@ func Figure3(env *Env) (Result, error) {
 		YLabel:      "seconds",
 		PaperErrPct: 15,
 	}
+	type point struct{ ded, model0, model3, con float64 }
+	pts, err := runner.Map(context.Background(), env.pool(), ms,
+		func(_ context.Context, _ int, m int) (point, error) {
+			prog := apps.GaussCM2Program(m)
+			// Dedicated run: the source of dcomp_cm2 and didle_cm2.
+			ded, busy, idle := gaussRun(env, m, 0)
+			contended, _, _ := gaussRun(env, m, 3)
+			return point{
+				ded:    ded,
+				model0: core.CM2ExecTime(busy, idle, prog.TotalSerial(), 0),
+				model3: core.CM2ExecTime(busy, idle, prog.TotalSerial(), 3),
+				con:    contended,
+			}, nil
+		})
+	if err != nil {
+		return Result{}, err
+	}
 	var xs []float64
 	series := map[string][]float64{}
-	for _, m := range ms {
+	for i, m := range ms {
 		xs = append(xs, float64(m))
-		prog := apps.GaussCM2Program(m)
-		// Dedicated run: the source of dcomp_cm2 and didle_cm2.
-		ded, busy, idle := gaussRun(env, m, 0)
-		series["actual p=0"] = append(series["actual p=0"], ded)
-		series["model p=0"] = append(series["model p=0"],
-			core.CM2ExecTime(busy, idle, prog.TotalSerial(), 0))
-		series["model p=3"] = append(series["model p=3"],
-			core.CM2ExecTime(busy, idle, prog.TotalSerial(), 3))
-		contended, _, _ := gaussRun(env, m, 3)
-		series["actual p=3"] = append(series["actual p=3"], contended)
+		series["actual p=0"] = append(series["actual p=0"], pts[i].ded)
+		series["model p=0"] = append(series["model p=0"], pts[i].model0)
+		series["model p=3"] = append(series["model p=3"], pts[i].model3)
+		series["actual p=3"] = append(series["actual p=3"], pts[i].con)
 	}
 	for _, name := range []string{"actual p=0", "model p=0", "model p=3", "actual p=3"} {
 		r.Series = append(r.Series, Series{Name: name, X: xs, Y: series[name]})

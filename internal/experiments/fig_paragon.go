@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"contention/internal/core"
 	"contention/internal/des"
 	"contention/internal/platform"
+	"contention/internal/runner"
 	"contention/internal/workload"
 )
 
@@ -79,23 +81,35 @@ func Figure4(env *Env) (Result, error) {
 	for _, w := range figure4Sizes {
 		xs = append(xs, float64(w))
 	}
+	// Flatten the (mode, direction, size) grid into independent burst
+	// simulations and fan them out; series reassemble by index.
+	type cell struct {
+		mode platform.HopMode
+		dir  workload.Direction
+		w    int
+	}
+	var cells []cell
 	for _, mode := range []platform.HopMode{platform.OneHop, platform.TwoHops} {
-		params := platform.DefaultParagonParams(mode)
 		for _, dir := range []workload.Direction{workload.SunToParagon, workload.ParagonToSun} {
-			var ys []float64
 			for _, w := range figure4Sizes {
-				e, err := burstElapsed(params, dir, count, w, nil)
-				if err != nil {
-					return Result{}, err
-				}
-				ys = append(ys, e)
+				cells = append(cells, cell{mode: mode, dir: dir, w: w})
 			}
-			r.Series = append(r.Series, Series{
-				Name: fmt.Sprintf("%v %v", dir, mode),
-				X:    xs,
-				Y:    ys,
-			})
 		}
+	}
+	ys, err := runner.Map(context.Background(), env.pool(), cells,
+		func(_ context.Context, _ int, c cell) (float64, error) {
+			return burstElapsed(platform.DefaultParagonParams(c.mode), c.dir, count, c.w, nil)
+		})
+	if err != nil {
+		return Result{}, err
+	}
+	for i := 0; i < len(cells); i += len(figure4Sizes) {
+		c := cells[i]
+		r.Series = append(r.Series, Series{
+			Name: fmt.Sprintf("%v %v", c.dir, c.mode),
+			X:    xs,
+			Y:    ys[i : i+len(figure4Sizes)],
+		})
 	}
 	r.Notes = append(r.Notes,
 		"piecewise linear in message size; knee at the 1024-word MTU (the paper's threshold)",
@@ -124,13 +138,9 @@ var figure56Sizes = []int{16, 64, 128, 256, 512, 768, 1024, 1536, 2048}
 func burstFigure(env *Env, id, title string, dir workload.Direction, modelDir core.Direction, paperErr float64) (Result, error) {
 	const count = 1000
 	specs, cs := figure56Contenders()
-	slowdown, err := core.CommSlowdown(cs, env.Cal.Tables)
+	slowdown, err := env.Pred.CommSlowdown(cs)
 	if err != nil {
 		return Result{}, err
-	}
-	pred, errP := core.NewPredictor(env.Cal)
-	if errP != nil {
-		return Result{}, errP
 	}
 	r := Result{
 		ID:          id,
@@ -139,24 +149,40 @@ func burstFigure(env *Env, id, title string, dir workload.Direction, modelDir co
 		YLabel:      "seconds",
 		PaperErrPct: paperErr,
 	}
-	var xs, dedicated, modeled, actual []float64
+	// Model sweep: the batched path evaluates the slowdown mixture once
+	// for the whole message-size grid.
+	var xs []float64
+	batches := make([][]core.DataSet, 0, len(figure56Sizes))
 	for _, w := range figure56Sizes {
 		xs = append(xs, float64(w))
-		ded, err := burstElapsed(env.ParagonParams, dir, count, w, nil)
-		if err != nil {
-			return Result{}, err
-		}
-		dedicated = append(dedicated, ded)
-		dcomm, err := pred.DedicatedComm(modelDir, []core.DataSet{{N: count, Words: w}})
-		if err != nil {
-			return Result{}, err
-		}
-		modeled = append(modeled, dcomm*slowdown)
-		act, err := burstElapsed(env.ParagonParams, dir, count, w, specs)
-		if err != nil {
-			return Result{}, err
-		}
-		actual = append(actual, act)
+		batches = append(batches, []core.DataSet{{N: count, Words: w}})
+	}
+	modeled, err := env.Pred.PredictCommBatch(modelDir, batches, cs)
+	if err != nil {
+		return Result{}, err
+	}
+	// Measured sweep: a dedicated and a contended burst per size, fanned
+	// out on the pool.
+	type point struct{ ded, act float64 }
+	pts, err := runner.Map(context.Background(), env.pool(), figure56Sizes,
+		func(_ context.Context, _ int, w int) (point, error) {
+			ded, err := burstElapsed(env.ParagonParams, dir, count, w, nil)
+			if err != nil {
+				return point{}, err
+			}
+			act, err := burstElapsed(env.ParagonParams, dir, count, w, specs)
+			if err != nil {
+				return point{}, err
+			}
+			return point{ded: ded, act: act}, nil
+		})
+	if err != nil {
+		return Result{}, err
+	}
+	var dedicated, actual []float64
+	for _, pt := range pts {
+		dedicated = append(dedicated, pt.ded)
+		actual = append(actual, pt.act)
 	}
 	r.Series = []Series{
 		{Name: "dedicated", X: xs, Y: dedicated},

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"contention/internal/apps"
 	"contention/internal/core"
 	"contention/internal/des"
 	"contention/internal/platform"
+	"contention/internal/runner"
 	"contention/internal/workload"
 )
 
@@ -65,35 +67,52 @@ func sorFigure(env *Env, id, title string, specs []workload.AlternatorSpec, cs [
 	jGrid := []int{1, 500, 1000}
 	slowdowns := map[int]float64{}
 	for _, j := range jGrid {
-		s, err := core.CompSlowdownWithJ(cs, env.Cal.Tables, j)
+		s, err := env.Pred.CompSlowdownWithJ(cs, j)
 		if err != nil {
 			return Result{}, err
 		}
 		slowdowns[j] = s
 	}
-	autoSlowdown, err := core.CompSlowdown(cs, env.Cal.Tables)
+	autoSlowdown, err := env.Pred.CompSlowdown(cs)
 	if err != nil {
 		return Result{}, err
 	}
 
-	var xs, dedicated, actual []float64
-	modeled := map[int][]float64{}
-	for _, m := range sorSizes {
+	// Measured sweep: every problem size simulates a dedicated and a
+	// contended run on its own DES kernel, so the points fan out on the
+	// pool and reassemble by index.
+	type point struct{ ded, act float64 }
+	pts, err := runner.Map(context.Background(), env.pool(), sorSizes,
+		func(_ context.Context, _ int, m int) (point, error) {
+			ded, err := sorElapsed(env.ParagonParams, m, nil)
+			if err != nil {
+				return point{}, err
+			}
+			act, err := sorElapsed(env.ParagonParams, m, specs)
+			if err != nil {
+				return point{}, err
+			}
+			return point{ded: ded, act: act}, nil
+		})
+	if err != nil {
+		return Result{}, err
+	}
+	var xs, dedicated, actual, dcomps []float64
+	for i, m := range sorSizes {
 		xs = append(xs, float64(m))
-		dcomp := apps.SORWork(m, sorIters)
-		ded, err := sorElapsed(env.ParagonParams, m, nil)
+		dcomps = append(dcomps, apps.SORWork(m, sorIters))
+		dedicated = append(dedicated, pts[i].ded)
+		actual = append(actual, pts[i].act)
+	}
+	// Model sweep: one slowdown evaluation per j column, amortized over
+	// the whole problem-size grid by the batched predictor API.
+	modeled := map[int][]float64{}
+	for _, j := range jGrid {
+		ys, err := env.Pred.PredictCompBatchWithJ(dcomps, cs, j)
 		if err != nil {
 			return Result{}, err
 		}
-		dedicated = append(dedicated, ded)
-		act, err := sorElapsed(env.ParagonParams, m, specs)
-		if err != nil {
-			return Result{}, err
-		}
-		actual = append(actual, act)
-		for _, j := range jGrid {
-			modeled[j] = append(modeled[j], dcomp*slowdowns[j])
-		}
+		modeled[j] = ys
 	}
 	r.Series = []Series{
 		{Name: "dedicated", X: xs, Y: dedicated},
@@ -148,13 +167,30 @@ func Figure8(env *Env) (Result, error) {
 		specs, cs, 500, map[int]float64{500: 5, 1: 25, 1000: 25})
 }
 
+// driver pairs an experiment id with its runner, for the suite fan-out.
+type driver struct {
+	name string
+	run  func() (Result, error)
+}
+
+// runDrivers fans the drivers out on the Env's pool. Results come back
+// in input order and the reported error is the first driver's (by
+// position) regardless of completion order, so the parallel suite is
+// observationally identical to the serial loop.
+func runDrivers(env *Env, drivers []driver) ([]Result, error) {
+	return runner.Map(context.Background(), env.pool(), drivers,
+		func(_ context.Context, _ int, d driver) (Result, error) {
+			r, err := d.run()
+			if err != nil {
+				return Result{}, fmt.Errorf("%s: %w", d.name, err)
+			}
+			return r, nil
+		})
+}
+
 // All runs every table and figure driver in paper order.
 func All(env *Env) ([]Result, error) {
-	type driver struct {
-		name string
-		run  func() (Result, error)
-	}
-	drivers := []driver{
+	return runDrivers(env, []driver{
 		{"table1-2", Tables12},
 		{"table3", Table3},
 		{"table4", Table4},
@@ -166,16 +202,7 @@ func All(env *Env) ([]Result, error) {
 		{"figure6", func() (Result, error) { return Figure6(env) }},
 		{"figure7", func() (Result, error) { return Figure7(env) }},
 		{"figure8", func() (Result, error) { return Figure8(env) }},
-	}
-	out := make([]Result, 0, len(drivers))
-	for _, d := range drivers {
-		r, err := d.run()
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", d.name, err)
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	})
 }
 
 // Extensions runs the drivers that go beyond the paper's published
@@ -183,11 +210,7 @@ func All(env *Env) ([]Result, error) {
 // work implemented here (I/O characteristics, dynamic job mix,
 // multi-machine platforms).
 func Extensions(env *Env) ([]Result, error) {
-	type driver struct {
-		name string
-		run  func() (Result, error)
-	}
-	drivers := []driver{
+	return runDrivers(env, []driver{
 		{"synthetic", func() (Result, error) { return SyntheticCM2(env, 30) }},
 		{"iochar", func() (Result, error) { return IOCharacteristics(env) }},
 		{"phased", func() (Result, error) { return PhasedContention(env) }},
@@ -195,14 +218,5 @@ func Extensions(env *Env) ([]Result, error) {
 		{"offload", func() (Result, error) { return OffloadDecision(env) }},
 		{"faulttolerance", func() (Result, error) { return FaultTolerance(env) }},
 		{"caldrift", func() (Result, error) { return CalibrationDrift(env) }},
-	}
-	out := make([]Result, 0, len(drivers))
-	for _, d := range drivers {
-		r, err := d.run()
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", d.name, err)
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	})
 }

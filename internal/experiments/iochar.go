@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"contention/internal/apps"
 	"contention/internal/core"
 	"contention/internal/des"
 	"contention/internal/platform"
+	"contention/internal/runner"
 	"contention/internal/workload"
 )
 
@@ -28,7 +30,7 @@ func IOCharacteristics(env *Env) (Result, error) {
 		{CommFraction: 0, IOFraction: ioFrac},
 	}
 
-	extended, err := core.CompSlowdown(cs, env.Cal.Tables)
+	extended, err := env.Pred.CompSlowdown(cs)
 	if err != nil {
 		return Result{}, err
 	}
@@ -40,20 +42,28 @@ func IOCharacteristics(env *Env) (Result, error) {
 		XLabel: "M",
 		YLabel: "seconds",
 	}
+	type point struct{ ded, act float64 }
+	pts, err := runner.Map(context.Background(), env.pool(), sorSizes,
+		func(_ context.Context, _ int, m int) (point, error) {
+			ded, err := sorElapsed(env.ParagonParams, m, nil)
+			if err != nil {
+				return point{}, err
+			}
+			act, err := ioSORElapsed(env.ParagonParams, m, specs)
+			if err != nil {
+				return point{}, err
+			}
+			return point{ded: ded, act: act}, nil
+		})
+	if err != nil {
+		return Result{}, err
+	}
 	var xs, dedicated, actual, extPred, naivePred []float64
-	for _, m := range sorSizes {
+	for i, m := range sorSizes {
 		xs = append(xs, float64(m))
 		dcomp := apps.SORWork(m, sorIters)
-		ded, err := sorElapsed(env.ParagonParams, m, nil)
-		if err != nil {
-			return Result{}, err
-		}
-		dedicated = append(dedicated, ded)
-		act, err := ioSORElapsed(env.ParagonParams, m, specs)
-		if err != nil {
-			return Result{}, err
-		}
-		actual = append(actual, act)
+		dedicated = append(dedicated, pts[i].ded)
+		actual = append(actual, pts[i].act)
 		extPred = append(extPred, dcomp*extended)
 		naivePred = append(naivePred, dcomp*naive)
 	}

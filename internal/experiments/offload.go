@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"contention/internal/apps"
 	"contention/internal/core"
 	"contention/internal/des"
 	"contention/internal/platform"
+	"contention/internal/runner"
 	"contention/internal/workload"
 )
 
@@ -28,18 +30,15 @@ func OffloadDecision(env *Env) (Result, error) {
 		{CommFraction: 0.40, MsgWords: 500},
 		{CommFraction: 0.25, MsgWords: 200},
 	}
-	compSlow, err := core.CompSlowdown(cs, env.Cal.Tables)
+	compSlow, err := env.Pred.CompSlowdown(cs)
 	if err != nil {
 		return Result{}, err
 	}
-	commSlow, err := core.CommSlowdown(cs, env.Cal.Tables)
+	commSlow, err := env.Pred.CommSlowdown(cs)
 	if err != nil {
 		return Result{}, err
 	}
-	pred, err := core.NewPredictor(env.Cal)
-	if err != nil {
-		return Result{}, err
-	}
+	pred := env.Pred
 
 	r := Result{
 		ID:     "offload",
@@ -47,10 +46,33 @@ func OffloadDecision(env *Env) (Result, error) {
 		XLabel: "M",
 		YLabel: "seconds",
 	}
+	// Per size: the dedicated T_p estimate plus the two actual contended
+	// runs, all on private kernels — fanned out on the pool.
+	type point struct{ tp, aSun, aOff float64 }
+	ms := []int{16, 24, 32, 48, 64, 100, 200, 400}
+	pts, err := runner.Map(context.Background(), env.pool(), ms,
+		func(_ context.Context, _ int, m int) (point, error) {
+			tp, err := estimateTp(env, apps.SORParagonSpec{M: m, Iters: sorIters, Nodes: nodes})
+			if err != nil {
+				return point{}, err
+			}
+			aSun, err := sorElapsed(env.ParagonParams, m, specs)
+			if err != nil {
+				return point{}, err
+			}
+			aOff, err := offloadRun(env.ParagonParams, m, nodes, specs)
+			if err != nil {
+				return point{}, err
+			}
+			return point{tp: tp, aSun: aSun, aOff: aOff}, nil
+		})
+	if err != nil {
+		return Result{}, err
+	}
 	var xs, predSun, actSun, predOff, actOff []float64
 	correct, total := 0, 0
 	crossover := 0.0
-	for _, m := range []int{16, 24, 32, 48, 64, 100, 200, 400} {
+	for i, m := range ms {
 		xs = append(xs, float64(m))
 		dcomp := apps.SORWork(m, sorIters)
 
@@ -68,24 +90,13 @@ func OffloadDecision(env *Env) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		spec := apps.SORParagonSpec{M: m, Iters: sorIters, Nodes: nodes}
-		tp, err := estimateTp(env, spec)
-		if err != nil {
-			return Result{}, err
-		}
+		tp := pts[i].tp
 		tOff := dTo*commSlow + tp + dFrom*commSlow
 		predOff = append(predOff, tOff)
 
 		// Actual runs of both options under the contenders.
-		aSun, err := sorElapsed(env.ParagonParams, m, specs)
-		if err != nil {
-			return Result{}, err
-		}
+		aSun, aOff := pts[i].aSun, pts[i].aOff
 		actSun = append(actSun, aSun)
-		aOff, err := offloadRun(env.ParagonParams, m, nodes, specs)
-		if err != nil {
-			return Result{}, err
-		}
 		actOff = append(actOff, aOff)
 
 		// Decision quality: does the model pick the actual winner?

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"contention/internal/apps"
 	"contention/internal/core"
 	"contention/internal/des"
 	"contention/internal/platform"
+	"contention/internal/runner"
 	"contention/internal/workload"
 )
 
@@ -37,13 +39,21 @@ func PhasedContention(env *Env) (Result, error) {
 		XLabel: "M",
 		YLabel: "seconds",
 	}
-	staticSlowdown, err := core.CompSlowdown([]core.Contender{cpuBound}, env.Cal.Tables)
+	staticSlowdown, err := env.Pred.CompSlowdown([]core.Contender{cpuBound})
 	if err != nil {
 		return Result{}, err
 	}
 
+	ms := []int{250, 300, 350, 400, 450}
+	acts, err := runner.Map(context.Background(), env.pool(), ms,
+		func(_ context.Context, _ int, m int) (float64, error) {
+			return phasedRun(env.ParagonParams, apps.SORWork(m, sorIters), appStart, tJoin, tLeave)
+		})
+	if err != nil {
+		return Result{}, err
+	}
 	var xs, actual, phasedPred, staticPred []float64
-	for _, m := range []int{250, 300, 350, 400, 450} {
+	for i, m := range ms {
 		xs = append(xs, float64(m))
 		dcomp := apps.SORWork(m, sorIters)
 
@@ -53,12 +63,7 @@ func PhasedContention(env *Env) (Result, error) {
 		}
 		phasedPred = append(phasedPred, pred)
 		staticPred = append(staticPred, dcomp*staticSlowdown)
-
-		act, err := phasedRun(env.ParagonParams, dcomp, appStart, tJoin, tLeave)
-		if err != nil {
-			return Result{}, err
-		}
-		actual = append(actual, act)
+		actual = append(actual, acts[i])
 	}
 	r.Series = []Series{
 		{Name: "actual", X: xs, Y: actual},

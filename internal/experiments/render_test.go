@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRenderSharedGrid pins the classic one-row-per-x table for series
+// that share an X grid — the parallel engine's golden test depends on
+// this output staying stable.
+func TestRenderSharedGrid(t *testing.T) {
+	r := Result{
+		ID: "shared", Title: "shared grid", XLabel: "M",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Name: "b", X: []float64{1, 2}, Y: []float64{30, 40}},
+		},
+	}
+	got := r.Render()
+	want := "== shared: shared grid ==\n" +
+		"           M               a               b\n" +
+		"           1              10              30\n" +
+		"           2              20              40\n"
+	if got != want {
+		t.Fatalf("shared-grid render changed:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestRenderRaggedGrid is the regression test for the silent-blank bug:
+// when series do not share the first series' X grid, every point of
+// every series must still appear in the output.
+func TestRenderRaggedGrid(t *testing.T) {
+	r := Result{
+		ID: "ragged", Title: "ragged grid", XLabel: "M",
+		Series: []Series{
+			{Name: "short", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Name: "long", X: []float64{1, 2, 3, 4}, Y: []float64{30, 40, 50, 60}},
+			{Name: "offset", X: []float64{7, 8}, Y: []float64{70, 80}},
+		},
+	}
+	got := r.Render()
+	// The old renderer iterated Series[0].X (length 2): x=3, x=4 of
+	// "long" vanished and "offset" was misaligned under x=1, x=2.
+	for _, want := range []string{
+		"50", "60", // the long series' tail
+		"           7              70", "           8              80", // offset points on their own x
+		"-- short --", "-- long --", "-- offset --",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("ragged render lost %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRenderYShorterThanX: a series whose Y ran short of its X grid is
+// ragged, not silently blank-padded.
+func TestRenderYShorterThanX(t *testing.T) {
+	r := Result{
+		ID: "shorty", Title: "short Y", XLabel: "M",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2, 3}, Y: []float64{10, 20}},
+		},
+	}
+	got := r.Render()
+	if !strings.Contains(got, "-- a --") {
+		t.Fatalf("short-Y series not rendered per-series:\n%s", got)
+	}
+	if !strings.Contains(got, "           3\n") {
+		t.Fatalf("short-Y series lost its yless x row:\n%s", got)
+	}
+}

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"contention/internal/apps"
 	"contention/internal/core"
 	"contention/internal/des"
 	"contention/internal/platform"
+	"contention/internal/runner"
 	"contention/internal/stats"
 )
 
@@ -28,31 +30,44 @@ func SyntheticCM2(env *Env, programs int) (Result, error) {
 		YLabel:      "seconds",
 		PaperErrPct: 15,
 	}
+	// Each synthetic program is generated from its own seed and measured
+	// on its own kernel, so the population fans out on the pool.
+	type point struct{ model, actual float64 }
+	indices := make([]int, programs)
+	for i := range indices {
+		indices[i] = i
+	}
+	pts, err := runner.Map(context.Background(), env.pool(), indices,
+		func(_ context.Context, _ int, i int) (point, error) {
+			spec := apps.DefaultSyntheticSpec(int64(1000 + i))
+			// Sweep the serial/parallel balance across the population.
+			frac := float64(i) / float64(programs)
+			spec.SerialMeanOps *= 0.25 + 3*frac // serial-light → serial-heavy
+			spec.ParallelMean *= 2.5 - 2.2*frac // CM2-heavy → CM2-light
+			spec.Segments = 40 + (i*7)%80       // varying lengths
+			spec.SyncEvery = []int{0, 8, 16, 4}[i%4]
+			prog, err := apps.SyntheticCM2Program(spec)
+			if err != nil {
+				return point{}, err
+			}
+			p := 1 + i%3
+
+			// Dedicated run: measure dcomp_cm2 and didle_cm2.
+			_, busy, idle := syntheticRun(env, prog, 0)
+			model := core.CM2ExecTime(busy, idle, prog.TotalSerial(), p)
+			contended, _, _ := syntheticRun(env, prog, p)
+			return point{model: model, actual: contended}, nil
+		})
+	if err != nil {
+		return Result{}, err
+	}
 	var xs, modeled, actual, errs []float64
 	worst := 0.0
-	for i := 0; i < programs; i++ {
-		spec := apps.DefaultSyntheticSpec(int64(1000 + i))
-		// Sweep the serial/parallel balance across the population.
-		frac := float64(i) / float64(programs)
-		spec.SerialMeanOps *= 0.25 + 3*frac // serial-light → serial-heavy
-		spec.ParallelMean *= 2.5 - 2.2*frac // CM2-heavy → CM2-light
-		spec.Segments = 40 + (i*7)%80       // varying lengths
-		spec.SyncEvery = []int{0, 8, 16, 4}[i%4]
-		prog, err := apps.SyntheticCM2Program(spec)
-		if err != nil {
-			return Result{}, err
-		}
-		p := 1 + i%3
-
-		// Dedicated run: measure dcomp_cm2 and didle_cm2.
-		_, busy, idle := syntheticRun(env, prog, 0)
-		model := core.CM2ExecTime(busy, idle, prog.TotalSerial(), p)
-		contended, _, _ := syntheticRun(env, prog, p)
-
+	for i, pt := range pts {
 		xs = append(xs, float64(i))
-		modeled = append(modeled, model)
-		actual = append(actual, contended)
-		e := 100 * stats.RelErr(model, contended)
+		modeled = append(modeled, pt.model)
+		actual = append(actual, pt.actual)
+		e := 100 * stats.RelErr(pt.model, pt.actual)
 		errs = append(errs, e)
 		if e > worst {
 			worst = e

@@ -1,0 +1,73 @@
+package prob
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestRemoveDeconvPropertyRandomized is the property test for the O(p)
+// deconvolution removal: across randomized probability vectors —
+// including near-0 and near-1 edge probabilities — RemoveDeconv either
+// agrees with the full O(p²) rebuild (Remove) to 1e-9 on every point of
+// the distribution, or refuses with an error and leaves the Calc
+// untouched.
+func TestRemoveDeconvPropertyRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	draw := func() float64 {
+		switch rng.Intn(5) {
+		case 0: // near-0 edge
+			return rng.Float64() * 1e-12
+		case 1: // near-1 edge
+			return 1 - rng.Float64()*1e-12
+		case 2: // exact boundaries
+			return float64(rng.Intn(2))
+		default:
+			return rng.Float64()
+		}
+	}
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(12)
+		qs := make([]float64, n)
+		for i := range qs {
+			qs[i] = draw()
+		}
+		idx := rng.Intn(n)
+
+		deconv := MustNew(qs...)
+		before := deconv.Dist()
+		beforeQs := deconv.Probs()
+
+		rebuilt := MustNew(qs...)
+		if err := rebuilt.Remove(idx); err != nil {
+			t.Fatalf("trial %d qs=%v idx=%d: Remove: %v", trial, qs, idx, err)
+		}
+
+		if err := deconv.RemoveDeconv(idx); err != nil {
+			// Declining is allowed (instability near q≈1), but the Calc
+			// must be exactly as it was.
+			for i, v := range deconv.Dist() {
+				if v != before[i] {
+					t.Fatalf("trial %d qs=%v idx=%d: failed RemoveDeconv mutated dist[%d]: %v -> %v",
+						trial, qs, idx, i, before[i], v)
+				}
+			}
+			for i, q := range deconv.Probs() {
+				if q != beforeQs[i] {
+					t.Fatalf("trial %d qs=%v idx=%d: failed RemoveDeconv mutated qs[%d]", trial, qs, idx, i)
+				}
+			}
+			continue
+		}
+		if deconv.N() != rebuilt.N() {
+			t.Fatalf("trial %d qs=%v idx=%d: N = %d, want %d", trial, qs, idx, deconv.N(), rebuilt.N())
+		}
+		for i := 0; i <= rebuilt.N(); i++ {
+			got, want := deconv.P(i), rebuilt.P(i)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d qs=%v idx=%d: P(%d) = %.15g, rebuild %.15g (Δ=%g)",
+					trial, qs, idx, i, got, want, got-want)
+			}
+		}
+	}
+}

@@ -57,35 +57,37 @@ func (c *Calc) N() int { return len(c.qs) }
 func (c *Calc) Probs() []float64 { return append([]float64(nil), c.qs...) }
 
 // Add incorporates one application with activity probability q in O(p).
+// The convolution runs in place (top-down over the extended buffer), so
+// repeated Adds amortize to zero allocations once capacity is grown.
 func (c *Calc) Add(q float64) error {
 	if q < 0 || q > 1 || math.IsNaN(q) {
 		return fmt.Errorf("prob: probability %v out of [0,1]", q)
 	}
 	c.ensure()
 	n := len(c.dist)
-	next := make([]float64, n+1)
-	for i := 0; i < n; i++ {
-		next[i] += c.dist[i] * (1 - q)
-		next[i+1] += c.dist[i] * q
+	c.dist = append(c.dist, 0)
+	for i := n - 1; i >= 0; i-- {
+		c.dist[i+1] += c.dist[i] * q
+		c.dist[i] *= 1 - q
 	}
-	c.dist = next
 	c.qs = append(c.qs, q)
 	return nil
 }
 
 // Remove deletes the application at index by regenerating the
-// distribution from scratch — the paper's O(p²) removal.
+// distribution from scratch — the paper's O(p²) removal. The rebuild
+// runs in the existing buffers (the remaining qs were validated when
+// added, so the DP cannot fail), making removal allocation-free.
 func (c *Calc) Remove(index int) error {
 	if index < 0 || index >= len(c.qs) {
 		return fmt.Errorf("prob: remove index %d out of range [0,%d)", index, len(c.qs))
 	}
-	qs := append([]float64(nil), c.qs[:index]...)
-	qs = append(qs, c.qs[index+1:]...)
-	rebuilt, err := New(qs...)
+	c.qs = append(c.qs[:index], c.qs[index+1:]...)
+	dist, err := AppendDistribution(c.dist, c.qs)
 	if err != nil {
 		return err
 	}
-	*c = *rebuilt
+	c.dist = dist
 	return nil
 }
 
@@ -179,9 +181,26 @@ func (c *Calc) Mean() float64 {
 // Distribution is the one-shot O(p²) DP over qs, returning the full
 // Poisson-binomial distribution.
 func Distribution(qs []float64) ([]float64, error) {
-	c, err := New(qs...)
-	if err != nil {
-		return nil, err
+	return AppendDistribution(nil, qs)
+}
+
+// AppendDistribution is Distribution into a caller-supplied scratch
+// buffer: dst's contents are discarded, its capacity is reused, and the
+// resulting distribution (length len(qs)+1) is returned. It is the
+// allocation-free DP kernel behind the slowdown caches — callers that
+// keep the returned slice as their next dst pay nothing after warm-up.
+func AppendDistribution(dst []float64, qs []float64) ([]float64, error) {
+	dst = append(dst[:0], 1)
+	for _, q := range qs {
+		if q < 0 || q > 1 || math.IsNaN(q) {
+			return nil, fmt.Errorf("prob: probability %v out of [0,1]", q)
+		}
+		n := len(dst)
+		dst = append(dst, 0)
+		for i := n - 1; i >= 0; i-- {
+			dst[i+1] += dst[i] * q
+			dst[i] *= 1 - q
+		}
 	}
-	return c.dist, nil
+	return dst, nil
 }

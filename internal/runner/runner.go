@@ -1,0 +1,149 @@
+// Package runner is the bounded parallel-execution engine behind the
+// experiment suite. It fans work items out over a fixed-size worker
+// pool while guaranteeing deterministic, in-order results: Map returns
+// results indexed exactly like its input, and the error it reports is
+// always the lowest-index error, independent of goroutine scheduling.
+// Combined with experiment drivers whose per-point simulations are
+// self-contained (fresh DES kernel, locally seeded RNGs), this makes
+// the parallel path byte-identical to the serial one.
+//
+// The pool bounds *additional* concurrency with a token bucket: a task
+// that cannot get a token runs inline on the submitting goroutine
+// instead of waiting. That keeps nested Map calls (drivers fanned out
+// by the suite, sweep points fanned out by each driver) deadlock-free
+// while the total number of running tasks stays within workers + the
+// number of callers.
+package runner
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Pool bounds how many tasks may execute concurrently. The zero value
+// and nil are both valid and mean "serial": Map degenerates to a plain
+// loop. Pools are goroutine-safe and intended to be shared, so that
+// nested fan-outs draw from one budget.
+type Pool struct {
+	workers int
+	tokens  chan struct{}
+}
+
+// New returns a pool allowing up to workers concurrent tasks.
+// workers <= 0 selects GOMAXPROCS.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, tokens: make(chan struct{}, workers)}
+}
+
+// Serial returns a pool that runs everything inline, in input order.
+func Serial() *Pool { return nil }
+
+// Workers reports the concurrency bound (1 for a serial pool).
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// serial reports whether the pool degenerates to a plain loop.
+func (p *Pool) serial() bool { return p.Workers() == 1 }
+
+// submit runs task on a pool goroutine when a token is free, inline
+// otherwise, and reports completion through wg.
+func (p *Pool) submit(wg *sync.WaitGroup, task func()) {
+	select {
+	case p.tokens <- struct{}{}:
+		wg.Add(1)
+		go func() {
+			defer func() {
+				<-p.tokens
+				wg.Done()
+			}()
+			task()
+		}()
+	default:
+		task()
+	}
+}
+
+// indexedErr pairs an error with the input index it occurred at, so the
+// parallel path can report the same error the serial path would have
+// hit first.
+type indexedErr struct {
+	index int
+	err   error
+}
+
+// Map applies fn to every item and returns the results in input order.
+// fn receives the item's index and value. On a serial pool it is a
+// plain loop that stops at the first error. On a parallel pool all
+// items are attempted (work already in flight is not interrupted, but
+// ctx is cancelled as soon as any item fails, so cooperative fns can
+// bail early) and the error returned is the one with the lowest input
+// index — deterministic regardless of scheduling.
+func Map[In, Out any](ctx context.Context, p *Pool, items []In, fn func(ctx context.Context, index int, item In) (Out, error)) ([]Out, error) {
+	out := make([]Out, len(items))
+	if p.serial() {
+		for i, it := range items {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := fn(ctx, i, it)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first *indexedErr
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if first == nil || i < first.index {
+			first = &indexedErr{index: i, err: err}
+		}
+		mu.Unlock()
+		cancel()
+	}
+	for i, it := range items {
+		i, it := i, it
+		p.submit(&wg, func() {
+			if err := ctx.Err(); err != nil {
+				record(i, err)
+				return
+			}
+			v, err := fn(ctx, i, it)
+			if err != nil {
+				record(i, err)
+				return
+			}
+			out[i] = v
+		})
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first.err
+	}
+	return out, nil
+}
+
+// Run is Map for index-only tasks with no results.
+func Run(ctx context.Context, p *Pool, n int, fn func(ctx context.Context, index int) error) error {
+	idx := make([]struct{}, n)
+	_, err := Map(ctx, p, idx, func(ctx context.Context, i int, _ struct{}) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
+	})
+	return err
+}
