@@ -3,7 +3,7 @@ GO ?= go
 # Label stamped into the benchmark snapshot written by `make bench`.
 LABEL ?= dev
 
-.PHONY: all build vet test race check bench benchcmp bench-smoke fmt fuzz calibration-roundtrip
+.PHONY: all build vet test race check bench benchcmp bench-smoke fmt fuzz calibration-roundtrip obs-gate
 
 all: check
 
@@ -12,6 +12,8 @@ build:
 
 vet:
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "vet: staticcheck not installed, skipping"; fi
 
 test:
 	$(GO) test ./...
@@ -39,8 +41,16 @@ calibration-roundtrip:
 	! $(GO) run ./cmd/calibrate -check "$$tmp/rot.json" 2>/dev/null && \
 	echo "calibration-roundtrip: OK"
 
+# Telemetry gate: the disabled-metrics path must stay allocation-free
+# on the warm prediction hot path, and the Prometheus exposition and run
+# manifest must match their golden files.
+obs-gate:
+	$(GO) test -run 'AllocationFree' ./internal/core ./internal/obs
+	$(GO) test -run 'TestPrometheusExpositionGolden|TestManifestGolden' ./internal/obs
+	@echo "obs-gate: OK"
+
 # The full local gate: everything CI would run.
-check: build vet race fuzz calibration-roundtrip bench-smoke
+check: build vet race fuzz calibration-roundtrip obs-gate bench-smoke
 
 # Record a benchmark snapshot: full suite with allocation stats, parsed
 # into BENCH_$(LABEL).json for later `make benchcmp` diffs.

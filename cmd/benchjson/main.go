@@ -161,7 +161,10 @@ func stripProcSuffix(name string) string {
 }
 
 // diffSnapshots prints a per-benchmark, per-metric comparison of two
-// snapshot files, with the relative change for each shared metric.
+// snapshot files. Shared metrics show the absolute delta and relative
+// change; benchmarks and metrics present on only one side are reported
+// with their values as added or removed, never silently skipped, and a
+// summary line totals the comparison.
 func diffSnapshots(w io.Writer, oldPath, newPath string) error {
 	oldSnap, err := readSnapshot(oldPath)
 	if err != nil {
@@ -179,38 +182,84 @@ func diffSnapshots(w io.Writer, oldPath, newPath string) error {
 		oldSnap.Label, oldPath, newSnap.Label, newPath)
 	tw := bufio.NewWriter(w)
 	defer tw.Flush()
+	var compared, added, removed int
 	for _, nb := range newSnap.Benchmarks {
 		ob, found := oldBy[nb.Name]
 		if !found {
-			fmt.Fprintf(tw, "%-40s  (new benchmark)\n", nb.Name)
+			added++
+			for _, u := range sortedUnits(nb.Metrics) {
+				fmt.Fprintf(tw, "%-40s %12s  %14s -> %-14.4g (added benchmark)\n",
+					nb.Name, u, "-", nb.Metrics[u])
+			}
 			continue
 		}
 		delete(oldBy, nb.Name)
-		units := make([]string, 0, len(nb.Metrics))
-		for u := range nb.Metrics {
-			if _, ok := ob.Metrics[u]; ok {
-				units = append(units, u)
+		compared++
+		for _, u := range unionUnits(ob.Metrics, nb.Metrics) {
+			ov, inOld := ob.Metrics[u]
+			nv, inNew := nb.Metrics[u]
+			switch {
+			case !inOld:
+				fmt.Fprintf(tw, "%-40s %12s  %14s -> %-14.4g (added metric)\n", nb.Name, u, "-", nv)
+			case !inNew:
+				fmt.Fprintf(tw, "%-40s %12s  %14.4g -> %-14s (removed metric)\n", nb.Name, u, ov, "-")
+			default:
+				change := "~"
+				if ov != 0 {
+					change = fmt.Sprintf("%+.1f%%", 100*(nv-ov)/ov)
+				}
+				fmt.Fprintf(tw, "%-40s %12s  %14.4g -> %-14.4g %+.4g (%s)\n",
+					nb.Name, u, ov, nv, nv-ov, change)
 			}
 		}
-		sort.Strings(units)
-		for _, u := range units {
-			ov, nv := ob.Metrics[u], nb.Metrics[u]
-			change := "~"
-			if ov != 0 {
-				change = fmt.Sprintf("%+.1f%%", 100*(nv-ov)/ov)
-			}
-			fmt.Fprintf(tw, "%-40s %12s  %14.4g -> %-14.4g %s\n", nb.Name, u, ov, nv, change)
+	}
+	for _, name := range sortedNames(oldBy) {
+		removed++
+		ob := oldBy[name]
+		for _, u := range sortedUnits(ob.Metrics) {
+			fmt.Fprintf(tw, "%-40s %12s  %14.4g -> %-14s (removed benchmark)\n",
+				name, u, ob.Metrics[u], "-")
 		}
 	}
-	dropped := make([]string, 0, len(oldBy))
-	for name := range oldBy {
-		dropped = append(dropped, name)
-	}
-	sort.Strings(dropped)
-	for _, name := range dropped {
-		fmt.Fprintf(tw, "%-40s  (removed benchmark)\n", name)
-	}
+	fmt.Fprintf(tw, "summary: %d compared, %d added, %d removed\n", compared, added, removed)
 	return nil
+}
+
+// sortedUnits returns the metric units in sorted order.
+func sortedUnits(m map[string]float64) []string {
+	units := make([]string, 0, len(m))
+	for u := range m {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	return units
+}
+
+// unionUnits returns the sorted union of both sides' metric units.
+func unionUnits(a, b map[string]float64) []string {
+	seen := map[string]bool{}
+	for u := range a {
+		seen[u] = true
+	}
+	for u := range b {
+		seen[u] = true
+	}
+	units := make([]string, 0, len(seen))
+	for u := range seen {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	return units
+}
+
+// sortedNames returns the map's benchmark names in sorted order.
+func sortedNames(m map[string]Benchmark) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 func readSnapshot(path string) (Snapshot, error) {

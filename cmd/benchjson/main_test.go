@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+cpu: Intel(R) Xeon(R)
+BenchmarkPredictComm-4   1000   15816 ns/op   2.105 err%   384 B/op   16 allocs/op
+BenchmarkPredictComp-4   2000   7900 ns/op   0 B/op   0 allocs/op
+PASS
+`
+	snap, err := parseBench(strings.NewReader(input), "seed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Label != "seed" || snap.GoOS != "linux" || snap.GoArch != "amd64" {
+		t.Fatalf("header fields wrong: %+v", snap)
+	}
+	if len(snap.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(snap.Benchmarks))
+	}
+	bm := snap.Benchmarks[0]
+	if bm.Name != "BenchmarkPredictComm" {
+		t.Fatalf("proc suffix not stripped: %q", bm.Name)
+	}
+	if bm.Iterations != 1000 || bm.Metrics["ns/op"] != 15816 || bm.Metrics["allocs/op"] != 16 {
+		t.Fatalf("metrics wrong: %+v", bm)
+	}
+}
+
+// writeSnap writes a snapshot file for diff tests.
+func writeSnap(t *testing.T, dir, name string, s Snapshot) string {
+	t.Helper()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestDiffReportsEverySide checks the diff's accounting: shared metrics
+// show absolute and relative deltas (including allocs/op), one-sided
+// benchmarks and metrics are reported as added/removed with their
+// values, and the summary line totals the comparison.
+func TestDiffReportsEverySide(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnap(t, dir, "old.json", Snapshot{Label: "seed", Benchmarks: []Benchmark{
+		{Name: "BenchmarkShared", Iterations: 100, Metrics: map[string]float64{
+			"ns/op": 1000, "allocs/op": 4, "old-only": 7,
+		}},
+		{Name: "BenchmarkGone", Iterations: 10, Metrics: map[string]float64{"ns/op": 50}},
+	}})
+	newPath := writeSnap(t, dir, "new.json", Snapshot{Label: "pr", Benchmarks: []Benchmark{
+		{Name: "BenchmarkShared", Iterations: 100, Metrics: map[string]float64{
+			"ns/op": 1100, "allocs/op": 0, "new-only": 3,
+		}},
+		{Name: "BenchmarkFresh", Iterations: 10, Metrics: map[string]float64{"ns/op": 25}},
+	}})
+
+	var b strings.Builder
+	if err := diffSnapshots(&b, oldPath, newPath); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"+100 (+10.0%)",     // ns/op absolute + relative delta
+		"-4 (-100.0%)",      // allocs/op delta reported, not skipped
+		"(added metric)",    // new-only
+		"(removed metric)",  // old-only
+		"(added benchmark)", // BenchmarkFresh, with its value
+		"25",
+		"(removed benchmark)", // BenchmarkGone, with its value
+		"50",
+		"summary: 1 compared, 1 added, 1 removed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDiffZeroBaseline checks that a zero old value keeps the relative
+// change undefined ("~") while the absolute delta is still printed.
+func TestDiffZeroBaseline(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnap(t, dir, "old.json", Snapshot{Benchmarks: []Benchmark{
+		{Name: "BenchmarkX", Metrics: map[string]float64{"allocs/op": 0}},
+	}})
+	newPath := writeSnap(t, dir, "new.json", Snapshot{Benchmarks: []Benchmark{
+		{Name: "BenchmarkX", Metrics: map[string]float64{"allocs/op": 3}},
+	}})
+	var b strings.Builder
+	if err := diffSnapshots(&b, oldPath, newPath); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "+3 (~)") {
+		t.Fatalf("zero baseline not handled:\n%s", b.String())
+	}
+}

@@ -16,17 +16,39 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"contention/internal/emu"
+	"contention/internal/obs"
 )
 
 func main() {
 	maxP := flag.Int("p", 3, "maximum CPU-bound contender count")
 	senders := flag.Int("senders", 2, "maximum concurrent contender senders on the link")
 	work := flag.Float64("work", 0.1, "probe job size in CPU-seconds")
+	metrics := flag.Bool("metrics", false, "record telemetry (metrics + spans); implied by -metrics-addr and -run-report")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text on http://ADDR/metrics and expvar on /debug/vars")
+	runReport := flag.String("run-report", "", "write a JSON run manifest to this file at exit (plus a Prometheus snapshot beside it)")
 	flag.Parse()
 	defer exitOnPanic()
+	start := time.Now()
+
+	if *metricsAddr != "" || *runReport != "" {
+		*metrics = true
+	}
+	if *metrics {
+		obs.SetEnabled(true)
+	}
+	if *metricsAddr != "" {
+		addr, err := obs.ListenAndServe(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metrics-addr:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", addr)
+	}
 	if *maxP < 0 || *senders < 0 {
 		fmt.Fprintf(os.Stderr, "contender counts must be non-negative (-p %d, -senders %d)\n", *maxP, *senders)
 		os.Exit(2)
@@ -46,6 +68,7 @@ func main() {
 
 	fmt.Println("CPU contention on a fair-shared host (paper: slowdown = p+1):")
 	fmt.Printf("%4s  %12s  %12s  %9s  %7s  %6s\n", "p", "dedicated", "contended", "slowdown", "model", "err")
+	cpuSpan := obs.StartSpan("emulate", "cpu-contention")
 	for p := 1; p <= *maxP; p++ {
 		res, err := emu.ComputeSlowdown(spinner, *work, p)
 		if err != nil {
@@ -57,8 +80,11 @@ func main() {
 			res.Slowdown, res.ModelSlowdown, res.ErrPct)
 	}
 
+	cpuSpan.End()
+
 	fmt.Println("\nmixture workload (alternators; model = work conservation over observed utilizations):")
 	fmt.Printf("%18s  %9s  %7s  %6s\n", "fractions", "slowdown", "model", "err")
+	mixSpan := obs.StartSpan("emulate", "mixture")
 	for _, fracs := range [][]float64{{0.5}, {0.5, 0.5}, {0.3, 0.7}} {
 		res, err := emu.MixtureSlowdown(spinner, *work, fracs)
 		if err != nil {
@@ -68,8 +94,11 @@ func main() {
 		fmt.Printf("%18v  %9.2f  %7.2f  %5.1f%%\n", fracs, res.Slowdown, res.ModelSlowdown, res.ErrPct)
 	}
 
+	mixSpan.End()
+
 	fmt.Println("\nlink contention over real loopback TCP (FCFS wire: slowdown ≈ n+1):")
 	fmt.Printf("%4s  %12s  %12s  %9s  %7s  %6s\n", "n", "dedicated", "contended", "slowdown", "model", "err")
+	linkSpan := obs.StartSpan("emulate", "link-contention")
 	for n := 1; n <= *senders; n++ {
 		res, err := emu.LinkContention(80, 300, n)
 		if err != nil {
@@ -79,6 +108,30 @@ func main() {
 		fmt.Printf("%4d  %12v  %12v  %9.2f  %7.0f  %5.1f%%\n",
 			n, res.Dedicated.Round(time.Millisecond), res.Contended.Round(time.Millisecond),
 			res.Slowdown, res.ModelSlowdown, res.ErrPct)
+	}
+	linkSpan.End()
+
+	if *runReport != "" {
+		m := obs.NewManifest("emulate")
+		m.Config = map[string]string{
+			"p":       strconv.Itoa(*maxP),
+			"senders": strconv.Itoa(*senders),
+			"work":    strconv.FormatFloat(*work, 'g', -1, 64),
+		}
+		m.StartedAt = start.UTC().Format(time.RFC3339)
+		m.WallSeconds = time.Since(start).Seconds()
+		m.Spans = obs.DefaultTracer().Spans()
+		m.FillFromSnapshot(obs.Default().Snapshot())
+		if err := m.Write(*runReport); err != nil {
+			fmt.Fprintln(os.Stderr, "run-report:", err)
+			os.Exit(1)
+		}
+		prom := strings.TrimSuffix(*runReport, ".json") + ".prom"
+		if err := os.WriteFile(prom, []byte(obs.Default().PrometheusText()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "run-report:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "run manifest: %s (metrics snapshot: %s)\n", *runReport, prom)
 	}
 }
 

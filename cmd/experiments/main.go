@@ -17,8 +17,12 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
+	"time"
 
 	"contention/internal/experiments"
+	"contention/internal/obs"
 	"contention/internal/runner"
 )
 
@@ -31,8 +35,27 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	metrics := flag.Bool("metrics", false, "record telemetry (metrics + spans); implied by -metrics-addr and -run-report")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text on http://ADDR/metrics and expvar on /debug/vars")
+	runReport := flag.String("run-report", "", "write a JSON run manifest to this file at exit (plus a Prometheus snapshot beside it)")
 	flag.Parse()
 	defer exitOnPanic()
+	start := time.Now()
+
+	if *metricsAddr != "" || *runReport != "" {
+		*metrics = true
+	}
+	if *metrics {
+		obs.SetEnabled(true)
+	}
+	if *metricsAddr != "" {
+		addr, err := obs.ListenAndServe(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metrics-addr:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", addr)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -111,6 +134,26 @@ func main() {
 	if *only != "" && !found {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *only)
 		os.Exit(1)
+	}
+	if *runReport != "" {
+		m := experiments.BuildManifest(env, "experiments", map[string]string{
+			"only":       *only,
+			"extensions": strconv.FormatBool(wantExt),
+			"parallel":   strconv.FormatBool(*parallel),
+			"workers":    strconv.Itoa(env.Pool.Workers()),
+		})
+		m.StartedAt = start.UTC().Format(time.RFC3339)
+		m.WallSeconds = time.Since(start).Seconds()
+		if err := m.Write(*runReport); err != nil {
+			fmt.Fprintln(os.Stderr, "run-report:", err)
+			os.Exit(1)
+		}
+		prom := strings.TrimSuffix(*runReport, ".json") + ".prom"
+		if err := os.WriteFile(prom, []byte(obs.Default().PrometheusText()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "run-report:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "run manifest: %s (metrics snapshot: %s)\n", *runReport, prom)
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)

@@ -31,6 +31,18 @@ import (
 	"math"
 
 	"contention/internal/core"
+	"contention/internal/obs"
+)
+
+// Trust-layer telemetry: every state transition and drift alarm is
+// counted, so a run manifest can report how often trust was lost.
+var (
+	mDriftAlarms = obs.NewCounter(obs.MetricDriftAlarms,
+		"Fresh→Stale drift detections across all trackers")
+	mResiduals = obs.NewCounter(obs.MetricResidualsSeen,
+		"prediction residuals fed to the drift detectors")
+	mTransitions = obs.NewCounterVec(obs.MetricTrustTransitions,
+		"tracker trust-state transitions by destination state", "to")
 )
 
 // TrustState classifies the active calibration.
@@ -118,11 +130,13 @@ func (t *Tracker) adopt(pred *core.Predictor) {
 		t.state = Degraded
 		t.reason = fatal[0].String()
 		pred.MarkStale(t.reason)
+		mTransitions.With(Degraded.String()).Inc()
 		return
 	}
 	t.state = Fresh
 	t.reason = ""
 	pred.ClearStale()
+	mTransitions.With(Fresh.String()).Inc()
 }
 
 // State returns the current trust state.
@@ -155,6 +169,7 @@ func (t *Tracker) Observe(predicted, observed float64) (bool, error) {
 		return false, fmt.Errorf("caltrust: observed cost %v must be positive and finite", observed)
 	}
 	t.observed++
+	mResiduals.Inc()
 	residual := observed/predicted - 1
 	drifted, err := t.det.Add(residual)
 	if err != nil {
@@ -164,6 +179,8 @@ func (t *Tracker) Observe(predicted, observed float64) (bool, error) {
 		t.state = Stale
 		t.reason = fmt.Sprintf("drift detected after %d observations (residual %+.3f, PH stat %.3f > λ %.3f)",
 			t.observed, residual, t.det.Stat(), t.cfg.Drift.Lambda)
+		mDriftAlarms.Inc()
+		mTransitions.With(Stale.String()).Inc()
 		t.pred.MarkStale(t.reason)
 		if t.cfg.OnStale != nil {
 			t.cfg.OnStale(t.reason)

@@ -1,0 +1,74 @@
+package caltrust
+
+import (
+	"testing"
+
+	"contention/internal/core"
+	"contention/internal/obs"
+)
+
+// TestTrustCountersMove checks the trust layer's telemetry through a
+// full lifecycle: adoption lands a fresh transition, every residual is
+// tallied, sustained drift fires exactly one alarm with a matching
+// stale transition, and re-adoption counts fresh again.
+func TestTrustCountersMove(t *testing.T) {
+	obs.SetEnabled(true)
+	t.Cleanup(func() { obs.SetEnabled(false) })
+
+	fresh0 := mTransitions.With(Fresh.String()).Value()
+	stale0 := mTransitions.With(Stale.String()).Value()
+	alarms0, res0 := mDriftAlarms.Value(), mResiduals.Value()
+
+	pred, err := core.NewPredictor(goodCalibration())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTracker(pred, DefaultTrackerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mTransitions.With(Fresh.String()).Value() - fresh0; d != 1 {
+		t.Fatalf("fresh transitions moved by %d after adoption, want 1", d)
+	}
+
+	// Clean residuals establish the Page-Hinkley baseline; a sustained
+	// 80% under-prediction then shifts the mean and fires the alarm.
+	fed := int64(0)
+	for i := 0; i < 5; i++ {
+		if _, err := tr.Observe(1.0, 1.01); err != nil {
+			t.Fatal(err)
+		}
+		fed++
+	}
+	drifted := false
+	for i := 0; i < 20 && !drifted; i++ {
+		drifted, err = tr.Observe(1.0, 1.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fed++
+	}
+	if !drifted {
+		t.Fatal("sustained drift not detected")
+	}
+	if d := mResiduals.Value() - res0; d != fed {
+		t.Fatalf("residual counter moved by %d, want %d", d, fed)
+	}
+	if d := mDriftAlarms.Value() - alarms0; d != 1 {
+		t.Fatalf("drift alarms moved by %d, want 1", d)
+	}
+	if d := mTransitions.With(Stale.String()).Value() - stale0; d != 1 {
+		t.Fatalf("stale transitions moved by %d, want 1", d)
+	}
+
+	recal, err := core.NewPredictor(goodCalibration())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Adopt(recal); err != nil {
+		t.Fatal(err)
+	}
+	if d := mTransitions.With(Fresh.String()).Value() - fresh0; d != 2 {
+		t.Fatalf("fresh transitions moved by %d after re-adoption, want 2", d)
+	}
+}

@@ -122,8 +122,10 @@ func (c *slowdownCache) commSlowdown(cs []Contender, t DelayTables) (float64, er
 	defer c.mu.Unlock()
 	c.appendKey('m', 0, cs)
 	if s, ok := c.comm[string(c.key)]; ok {
+		mCacheCommHits.Inc()
 		return s, nil
 	}
+	mCacheCommMisses.Inc()
 	if err := c.distributions(cs); err != nil {
 		return 0, err
 	}
@@ -162,8 +164,10 @@ func (c *slowdownCache) compSlowdownWithJ(cs []Contender, t DelayTables, jGrid [
 	defer c.mu.Unlock()
 	c.appendKey('p', col, cs)
 	if s, ok := c.comp[string(c.key)]; ok {
+		mCacheCompHits.Inc()
 		return s, nil
 	}
+	mCacheCompMisses.Inc()
 	if err := c.distributions(cs); err != nil {
 		return 0, err
 	}

@@ -191,6 +191,7 @@ func (p *Predictor) compSlowdown(cs []Contender) (float64, error) {
 // mixture is memoized on the contender multiset, so sweeping message
 // sizes against a fixed contender set costs one DP total.
 func (p *Predictor) PredictComm(dir Direction, sets []DataSet, cs []Contender) (float64, error) {
+	mPredictComm.Inc()
 	dcomm, err := p.DedicatedComm(dir, sets)
 	if err != nil {
 		return 0, err
@@ -205,6 +206,7 @@ func (p *Predictor) PredictComm(dir Direction, sets []DataSet, cs []Contender) (
 // PredictComp returns T = dcomp × slowdown for computation on the
 // front-end under the given contender set.
 func (p *Predictor) PredictComp(dcomp float64, cs []Contender) (float64, error) {
+	mPredictComp.Inc()
 	if dcomp < 0 {
 		return 0, errors.New("core: negative dedicated computation time")
 	}
@@ -217,6 +219,7 @@ func (p *Predictor) PredictComp(dcomp float64, cs []Contender) (float64, error) 
 
 // PredictCompWithJ is PredictComp with an explicit j column.
 func (p *Predictor) PredictCompWithJ(dcomp float64, cs []Contender, j int) (float64, error) {
+	mPredictComp.Inc()
 	if dcomp < 0 {
 		return 0, errors.New("core: negative dedicated computation time")
 	}
@@ -248,6 +251,8 @@ func (p *Predictor) CompSlowdownWithJ(cs []Contender, j int) (float64, error) {
 // evaluating the slowdown mixture exactly once and amortizing it over
 // the grid. Result k corresponds to batches[k].
 func (p *Predictor) PredictCommBatch(dir Direction, batches [][]DataSet, cs []Contender) ([]float64, error) {
+	mPredictComm.Add(int64(len(batches)))
+	mPredictBatch.Observe(float64(len(batches)))
 	s, err := p.commSlowdown(cs)
 	if err != nil {
 		return nil, err
@@ -267,6 +272,8 @@ func (p *Predictor) PredictCommBatch(dir Direction, batches [][]DataSet, cs []Co
 // one contender set with a single slowdown evaluation (auto-selected j,
 // per the paper's maximum-message-size rule).
 func (p *Predictor) PredictCompBatch(dcomps []float64, cs []Contender) ([]float64, error) {
+	mPredictComp.Add(int64(len(dcomps)))
+	mPredictBatch.Observe(float64(len(dcomps)))
 	s, err := p.compSlowdown(cs)
 	if err != nil {
 		return nil, err
@@ -276,6 +283,8 @@ func (p *Predictor) PredictCompBatch(dcomps []float64, cs []Contender) ([]float6
 
 // PredictCompBatchWithJ is PredictCompBatch with an explicit j column.
 func (p *Predictor) PredictCompBatchWithJ(dcomps []float64, cs []Contender, j int) ([]float64, error) {
+	mPredictComp.Add(int64(len(dcomps)))
+	mPredictBatch.Observe(float64(len(dcomps)))
 	s, err := p.compSlowdownWithJ(cs, j)
 	if err != nil {
 		return nil, err
@@ -411,15 +420,18 @@ func (p *Predictor) degradeReasonComp(cs []Contender) string {
 // when the dedicated model itself cannot price the transfer (no α/β fit
 // can be substituted by pessimism).
 func (p *Predictor) PredictCommRobust(dir Direction, sets []DataSet, cs []Contender) (Prediction, error) {
+	mPredictComm.Inc()
 	dcomm, err := p.DedicatedComm(dir, sets)
 	if err != nil {
 		return Prediction{}, err
 	}
 	if reason := p.degradeReasonComm(cs); reason != "" {
+		mPredictDegraded.Inc()
 		return Prediction{Value: dcomm * WorstCaseSlowdown(cs), Degraded: true, Reason: reason}, nil
 	}
 	s, err := p.commSlowdown(cs)
 	if err != nil {
+		mPredictDegraded.Inc()
 		return Prediction{Value: dcomm * WorstCaseSlowdown(cs), Degraded: true, Reason: err.Error()}, nil
 	}
 	return Prediction{Value: dcomm * s}, nil
@@ -428,14 +440,17 @@ func (p *Predictor) PredictCommRobust(dir Direction, sets []DataSet, cs []Conten
 // PredictCompRobust is PredictComp with graceful degradation to
 // dcomp × (p+1) when the delay^{i,j} tables cannot support the mixture.
 func (p *Predictor) PredictCompRobust(dcomp float64, cs []Contender) (Prediction, error) {
+	mPredictComp.Inc()
 	if dcomp < 0 {
 		return Prediction{}, errors.New("core: negative dedicated computation time")
 	}
 	if reason := p.degradeReasonComp(cs); reason != "" {
+		mPredictDegraded.Inc()
 		return Prediction{Value: dcomp * WorstCaseSlowdown(cs), Degraded: true, Reason: reason}, nil
 	}
 	s, err := p.compSlowdown(cs)
 	if err != nil {
+		mPredictDegraded.Inc()
 		return Prediction{Value: dcomp * WorstCaseSlowdown(cs), Degraded: true, Reason: err.Error()}, nil
 	}
 	return Prediction{Value: dcomp * s}, nil

@@ -9,6 +9,23 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"contention/internal/obs"
+)
+
+// Wire telemetry for the live emulation: what actually crossed the
+// loopback TCP link and how often the reliability machinery engaged.
+var (
+	mMessages = obs.NewCounter(obs.MetricEmuMessages,
+		"framed messages acknowledged by the sink")
+	mBytes = obs.NewCounter(obs.MetricEmuBytes,
+		"payload bytes (header included) successfully sent and acked")
+	mRetries = obs.NewCounter(obs.MetricEmuRetries,
+		"sender retry attempts after a failed transmission")
+	mRedials = obs.NewCounter(obs.MetricEmuRedials,
+		"sender re-dials of the sink after a failed attempt")
+	mDeadlines = obs.NewCounter(obs.MetricEmuDeadlines,
+		"send/ack attempts that hit the per-attempt deadline")
 )
 
 // ErrClosed is returned by operations on a closed link or connection.
@@ -189,6 +206,7 @@ func (l *Link) handle(conn net.Conn) {
 		l.sent++
 		stall := time.Until(l.stallUntil)
 		l.mu.Unlock()
+		mMessages.Inc()
 		if stall > 0 {
 			time.Sleep(stall)
 		}
@@ -268,6 +286,7 @@ func (c *Conn) Send(words int) error {
 			l.mu.Lock()
 			l.retries++
 			l.mu.Unlock()
+			mRetries.Inc()
 			time.Sleep(l.jitteredBackoff(attempt - 1))
 			if err := c.redial(); err != nil {
 				lastErr = err
@@ -289,6 +308,7 @@ func (c *Conn) Send(words int) error {
 			}
 			continue
 		}
+		mBytes.Add(int64(len(payload)))
 		return nil
 	}
 	return fmt.Errorf("emu: send failed after %d attempts: %w", l.opts.MaxRetries+1, lastErr)
@@ -309,16 +329,28 @@ func (c *Conn) writeAndAck(payload []byte) error {
 		return fmt.Errorf("emu: deadline: %w", err)
 	}
 	if _, err := conn.Write(payload); err != nil {
+		noteDeadline(err)
 		return fmt.Errorf("emu: send: %w", err)
 	}
 	if _, err := io.ReadFull(conn, c.ack[:]); err != nil {
+		noteDeadline(err)
 		return fmt.Errorf("emu: ack: %w", err)
 	}
 	return nil
 }
 
+// noteDeadline counts attempts that failed by blowing the per-attempt
+// deadline (as opposed to a reset or closed connection).
+func noteDeadline(err error) {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		mDeadlines.Inc()
+	}
+}
+
 // redial replaces the underlying TCP connection after a failed attempt.
 func (c *Conn) redial() error {
+	mRedials.Inc()
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()

@@ -1,0 +1,40 @@
+package emu
+
+import (
+	"testing"
+
+	"contention/internal/obs"
+)
+
+// TestLinkCountersMove checks the loopback link's telemetry: every
+// delivered message is counted, and the payload byte counter moves by
+// at least the word payload of the burst (4 bytes per word).
+func TestLinkCountersMove(t *testing.T) {
+	obs.SetEnabled(true)
+	t.Cleanup(func() { obs.SetEnabled(false) })
+
+	l, err := NewLink(1e6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	c, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	m0, b0 := mMessages.Value(), mBytes.Value()
+	const sends, words = 10, 100
+	for i := 0; i < sends; i++ {
+		if err := c.Send(words); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := mMessages.Value() - m0; d != sends {
+		t.Fatalf("message counter moved by %d, want %d", d, sends)
+	}
+	if d := mBytes.Value() - b0; d < sends*words {
+		t.Fatalf("byte counter moved by %d, want ≥ %d", d, sends*words)
+	}
+}

@@ -3,14 +3,22 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"contention/internal/apps"
 	"contention/internal/core"
 	"contention/internal/des"
+	"contention/internal/obs"
 	"contention/internal/platform"
 	"contention/internal/runner"
 	"contention/internal/workload"
 )
+
+// mDriverSeconds records each driver's wall time; the same interval is
+// also captured as a span on the default tracer, so run manifests carry
+// a per-driver timeline.
+var mDriverSeconds = obs.NewGaugeVec(obs.MetricDriverSeconds,
+	"wall seconds spent in each experiment driver", "driver")
 
 // sorIters is the sweep count of the SOR benchmark runs (the paper
 // parameterizes by problem size M×M; iterations are held fixed).
@@ -127,8 +135,15 @@ func sorFigure(env *Env, id, title string, specs []workload.AlternatorSpec, cs [
 		fmt.Sprintf("slowdowns: j=1 → %.3f, j=500 → %.3f, j=1000 → %.3f (auto j → %.3f)",
 			slowdowns[1], slowdowns[500], slowdowns[1000], autoSlowdown),
 		fmt.Sprintf("paper: best accuracy at j=%d; j sensitivity shows the message size matters", bestJ))
-	for j, e := range paperErrByJ {
-		r.Notes = append(r.Notes, fmt.Sprintf("paper error at j=%d: ≈%.0f%%", j, e))
+	// Sorted so the rendered notes are deterministic (map iteration
+	// order is not) and serial/parallel runs stay byte-identical.
+	paperJs := make([]int, 0, len(paperErrByJ))
+	for j := range paperErrByJ {
+		paperJs = append(paperJs, j)
+	}
+	sort.Ints(paperJs)
+	for _, j := range paperJs {
+		r.Notes = append(r.Notes, fmt.Sprintf("paper error at j=%d: ≈%.0f%%", j, paperErrByJ[j]))
 	}
 	return r, nil
 }
@@ -180,7 +195,9 @@ type driver struct {
 func runDrivers(env *Env, drivers []driver) ([]Result, error) {
 	return runner.Map(context.Background(), env.pool(), drivers,
 		func(_ context.Context, _ int, d driver) (Result, error) {
+			sp := obs.StartSpan("driver", d.name)
 			r, err := d.run()
+			mDriverSeconds.With(d.name).Add(sp.End())
 			if err != nil {
 				return Result{}, fmt.Errorf("%s: %w", d.name, err)
 			}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"sort"
+
+	"contention/internal/obs"
+)
+
+// FaultSeeds returns the fixed injector seeds the suite's perturbed
+// drivers draw from, for run-manifest reproducibility records.
+func FaultSeeds() []int64 { return []int64{faultToleranceSeed} }
+
+// BuildManifest assembles the run manifest for an experiments run:
+// calibration identity and trust at exit, fault seeds, per-driver wall
+// time from the span log, and every summary section derived from the
+// default registry snapshot. The caller stamps StartedAt/WallSeconds
+// and merges command-line config before writing.
+func BuildManifest(env *Env, command string, config map[string]string) *obs.Manifest {
+	m := obs.NewManifest(command)
+	m.Config = config
+
+	cal := &obs.CalibrationInfo{Platform: "sun-paragon", Version: "in-memory"}
+	if env != nil && env.Pred != nil {
+		if reason := env.Pred.Stale(); reason != "" {
+			cal.Trust = "stale"
+			cal.StaleReason = reason
+		} else {
+			cal.Trust = "fresh"
+		}
+		if rep := env.Pred.ValidationReport(); rep != nil {
+			cal.FatalViolations = len(rep.Fatal())
+			if cal.FatalViolations > 0 {
+				cal.Trust = "degraded"
+			}
+		}
+	}
+	m.Calibration = cal
+	m.FaultSeeds = FaultSeeds()
+
+	// Driver wall times come from the span log; the suite may have run
+	// drivers concurrently, so reports are sorted by id for stable output.
+	spans := obs.DefaultTracer().Spans()
+	m.Spans = spans
+	for _, sp := range spans {
+		if sp.Actor == "driver" {
+			m.Drivers = append(m.Drivers, obs.DriverReport{ID: sp.Name, WallSeconds: sp.Duration()})
+		}
+	}
+	sort.Slice(m.Drivers, func(i, j int) bool { return m.Drivers[i].ID < m.Drivers[j].ID })
+
+	if env != nil {
+		m.Pool = &obs.PoolReport{Workers: env.pool().Workers()}
+	}
+	m.FillFromSnapshot(obs.Default().Snapshot())
+	return m
+}

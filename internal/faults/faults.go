@@ -21,7 +21,13 @@ import (
 	"contention/internal/des"
 	"contention/internal/link"
 	"contention/internal/monitor"
+	"contention/internal/obs"
 )
+
+// mInjected counts fired fault events by kind, the telemetry twin of
+// the injector's own log.
+var mInjected = obs.NewCounterVec(obs.MetricFaultsInjected,
+	"fault events fired by the injector, by kind", "kind")
 
 // Injected is one fault event the injector actually fired, kept for
 // diagnostics and reproducibility checks.
@@ -70,6 +76,7 @@ func (in *Injector) Count(kind string) int {
 }
 
 func (in *Injector) note(kind, format string, args ...any) {
+	mInjected.With(kind).Inc()
 	in.log = append(in.log, Injected{At: in.k.Now(), Kind: kind, Info: fmt.Sprintf(format, args...)})
 }
 

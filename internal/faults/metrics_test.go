@@ -1,0 +1,31 @@
+package faults
+
+import (
+	"testing"
+
+	"contention/internal/obs"
+)
+
+// TestInjectionCountersMatchLog checks that the per-kind fault counters
+// agree exactly with the injector's own event log under the full fault
+// composition.
+func TestInjectionCountersMatchLog(t *testing.T) {
+	obs.SetEnabled(true)
+	t.Cleanup(func() { obs.SetEnabled(false) })
+
+	before := map[string]int64{}
+	kinds := []string{"link-drop", "link-corrupt", "host-stall", "crash-restart", "churn", "sample-loss"}
+	for _, k := range kinds {
+		before[k] = mInjected.With(k).Value()
+	}
+	in, _, _, _ := runScenario(t, 7)
+	for _, k := range kinds {
+		moved := int(mInjected.With(k).Value() - before[k])
+		if logged := in.Count(k); moved != logged {
+			t.Errorf("kind %q: counter moved by %d, log has %d", k, moved, logged)
+		}
+	}
+	if in.Count("") == 0 {
+		t.Fatal("scenario fired no faults")
+	}
+}

@@ -16,7 +16,20 @@ import (
 
 	"contention/internal/core"
 	"contention/internal/des"
+	"contention/internal/obs"
 	"contention/internal/platform"
+)
+
+// Sampling-path telemetry: the gap-tolerance (loss) and non-finite
+// sample paths used to swallow their casualties silently; now every
+// sample is accounted for as accepted, dropped, or rejected.
+var (
+	mAccepted = obs.NewCounter(obs.MetricMonitorAccepted,
+		"platform samples recorded into monitor windows")
+	mDropped = obs.NewCounter(obs.MetricMonitorDropped,
+		"platform samples discarded by the installed loss function")
+	mRejected = obs.NewCounter(obs.MetricMonitorRejected,
+		"non-finite platform samples rejected during estimation")
 )
 
 // Sample is one reading of the platform's cumulative counters.
@@ -36,8 +49,9 @@ type Monitor struct {
 	samples  []Sample
 	maxKeep  int
 
-	loss    func() bool
-	dropped int
+	loss     func() bool
+	dropped  int
+	rejected int
 }
 
 // New creates a monitor sampling every interval seconds, keeping at
@@ -73,12 +87,18 @@ func (m *Monitor) SetLossFunc(f func() bool) { m.loss = f }
 // Dropped reports the number of samples lost to the loss function.
 func (m *Monitor) Dropped() int { return m.dropped }
 
+// Rejected reports the number of non-finite samples rejected during
+// estimation (each rejection also surfaced as ErrNonFiniteSample).
+func (m *Monitor) Rejected() int { return m.rejected }
+
 // record takes one sample immediately.
 func (m *Monitor) record() {
 	if m.loss != nil && m.loss() {
 		m.dropped++
+		mDropped.Inc()
 		return
 	}
+	mAccepted.Inc()
 	s := Sample{
 		At:           m.sp.K.Now(),
 		HostBusy:     m.sp.Host.BusyTime(),
@@ -170,9 +190,13 @@ func (m *Monitor) EstimateWindow(window float64) (Estimate, error) {
 		}
 	}
 	if err := first.check(); err != nil {
+		m.rejected++
+		mRejected.Inc()
 		return Estimate{}, err
 	}
 	if err := last.check(); err != nil {
+		m.rejected++
+		mRejected.Inc()
 		return Estimate{}, err
 	}
 	dt := last.At - first.At

@@ -1,0 +1,49 @@
+package obs
+
+// Canonical metric names. They live here, in the leaf package, so the
+// instrumented packages and the manifest builder agree on one naming
+// table without importing each other. Conventions follow Prometheus:
+// snake_case, a subsystem prefix, `_total` on counters, base units
+// (seconds, bytes) in the name.
+const (
+	// internal/core — the prediction hot path.
+	MetricCacheCommHits   = "core_cache_comm_hits_total"
+	MetricCacheCommMisses = "core_cache_comm_misses_total"
+	MetricCacheCompHits   = "core_cache_comp_hits_total"
+	MetricCacheCompMisses = "core_cache_comp_misses_total"
+	MetricPredictComm     = "core_predict_comm_total"
+	MetricPredictComp     = "core_predict_comp_total"
+	MetricPredictDegraded = "core_predict_degraded_total"
+	MetricPredictBatch    = "core_predict_batch_size"
+
+	// internal/runner — the shared worker pool.
+	MetricPoolTasks       = "runner_tasks_total"
+	MetricPoolInline      = "runner_tasks_inline_total"
+	MetricPoolAsync       = "runner_tasks_async_total"
+	MetricPoolInFlight    = "runner_tasks_in_flight"
+	MetricPoolMaxInFlight = "runner_tasks_in_flight_max"
+	MetricPoolTaskSeconds = "runner_task_seconds"
+
+	// internal/caltrust — the calibration trust layer.
+	MetricDriftAlarms      = "caltrust_drift_alarms_total"
+	MetricTrustTransitions = "caltrust_transitions_total" // label: to
+	MetricResidualsSeen    = "caltrust_residuals_total"
+
+	// internal/faults — the simulated fault injector.
+	MetricFaultsInjected = "faults_injected_total" // label: kind
+
+	// internal/emu — the live loopback-TCP emulation link.
+	MetricEmuMessages  = "emu_link_messages_total"
+	MetricEmuBytes     = "emu_link_bytes_total"
+	MetricEmuRetries   = "emu_link_retries_total"
+	MetricEmuRedials   = "emu_link_redials_total"
+	MetricEmuDeadlines = "emu_link_deadline_hits_total"
+
+	// internal/monitor — run-time workload estimation.
+	MetricMonitorAccepted = "monitor_samples_accepted_total"
+	MetricMonitorDropped  = "monitor_samples_dropped_total"
+	MetricMonitorRejected = "monitor_samples_rejected_total"
+
+	// internal/experiments — per-driver wall time.
+	MetricDriverSeconds = "experiments_driver_seconds" // label: driver
+)

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"contention/internal/trace"
+)
+
+// Clock supplies the tracer's notion of "now" in seconds. A wall-clock
+// tracer uses WallClock; a DES-driven tracer passes the kernel's Now
+// method directly (func() float64), so spans from a simulated run carry
+// virtual timestamps and line up with the simulation's own event log.
+type Clock func() float64
+
+// processStart anchors WallClock so wall-clock spans are small positive
+// seconds, comparable in magnitude to virtual-time spans.
+var processStart = time.Now()
+
+// WallClock returns seconds since process start, monotonic.
+func WallClock() Clock {
+	return func() float64 { return time.Since(processStart).Seconds() }
+}
+
+// SpanRecord is one finished (or still-open, End < Start is never
+// emitted; open spans have End == Start at export time) span.
+type SpanRecord struct {
+	Actor string  `json:"actor"`
+	Name  string  `json:"name"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+}
+
+// Duration returns End - Start.
+func (s SpanRecord) Duration() float64 { return s.End - s.Start }
+
+// Tracer collects spans under one clock. It is goroutine-safe and
+// bounded: past Max spans new ones are dropped and counted, never
+// grown without limit. The zero value is not usable; a nil *Tracer is —
+// every method no-ops, so call sites need no guards.
+type Tracer struct {
+	clock Clock
+	max   int
+
+	mu      sync.Mutex
+	spans   []SpanRecord
+	dropped int64
+}
+
+// NewTracer returns a tracer reading time from clock and retaining at
+// most maxSpans spans (<= 0 selects 4096).
+func NewTracer(clock Clock, maxSpans int) *Tracer {
+	if clock == nil {
+		clock = WallClock()
+	}
+	if maxSpans <= 0 {
+		maxSpans = 4096
+	}
+	return &Tracer{clock: clock, max: maxSpans}
+}
+
+// Span is an in-flight interval; End finishes it. A nil *Span (from a
+// nil or disabled tracer) is inert.
+type Span struct {
+	t     *Tracer
+	actor string
+	name  string
+	start float64
+}
+
+// Start opens a span for actor entering name. While telemetry is
+// disabled (or on a nil tracer) it returns nil without allocating.
+func (t *Tracer) Start(actor, name string) *Span {
+	if t == nil || !enabled.Load() {
+		return nil
+	}
+	return &Span{t: t, actor: actor, name: name, start: t.clock()}
+}
+
+// End closes the span and returns its duration in clock seconds
+// (0 on a nil span).
+func (s *Span) End() float64 {
+	if s == nil {
+		return 0
+	}
+	end := s.t.clock()
+	if end < s.start {
+		end = s.start
+	}
+	rec := SpanRecord{Actor: s.actor, Name: s.name, Start: s.start, End: end}
+	s.t.mu.Lock()
+	if len(s.t.spans) < s.t.max {
+		s.t.spans = append(s.t.spans, rec)
+	} else {
+		s.t.dropped++
+	}
+	s.t.mu.Unlock()
+	return rec.Duration()
+}
+
+// Spans returns the finished spans sorted by start time (ties broken by
+// actor, then name, so concurrent spans export deterministically).
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]SpanRecord(nil), t.spans...)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Actor != b.Actor {
+			return a.Actor < b.Actor
+		}
+		return a.Name < b.Name
+	})
+	return out
+}
+
+// Dropped reports spans discarded over the retention bound.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Reset clears retained spans (between runs in one process).
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = nil
+	t.dropped = 0
+	t.mu.Unlock()
+}
+
+// Export replays the spans into a trace.Trace event log: each span
+// records the actor entering the span's name state at Start and the
+// idle state at End. The result renders with trace.Timeline exactly
+// like the simulator's own actor/state charts, so virtual-time DES
+// spans and wall-clock emulation spans share one timeline form.
+func (t *Tracer) Export(tr *trace.Trace, idleState string) {
+	for _, s := range t.Spans() {
+		tr.Record(s.Start, s.Actor, s.Name)
+		tr.Record(s.End, s.Actor, idleState)
+	}
+}
+
+// defaultTracer is the process-wide wall-clock tracer StartSpan feeds.
+var defaultTracer = NewTracer(WallClock(), 8192)
+
+// DefaultTracer returns the process-wide tracer.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+// StartSpan opens a span on the process-wide wall-clock tracer; nil
+// (free) while telemetry is disabled.
+func StartSpan(actor, name string) *Span { return defaultTracer.Start(actor, name) }

@@ -1,0 +1,48 @@
+package runner
+
+import (
+	"time"
+
+	"contention/internal/obs"
+)
+
+// Pool telemetry. The pool has no wait queue — a task that cannot get a
+// token runs inline on the submitting goroutine — so "queue depth" is
+// expressed as the inline/async split: inline tasks are exactly the
+// ones that would have queued on a blocking pool. Utilization in the
+// run manifest is async/total.
+var (
+	mTasks = obs.NewCounter(obs.MetricPoolTasks,
+		"tasks executed through the pool, inline and async")
+	mInline = obs.NewCounter(obs.MetricPoolInline,
+		"tasks that ran inline on the submitter (serial pool or no token free)")
+	mAsync = obs.NewCounter(obs.MetricPoolAsync,
+		"tasks that ran on a pool worker goroutine")
+	mInFlight = obs.NewGauge(obs.MetricPoolInFlight,
+		"tasks currently executing")
+	mMaxInFlight = obs.NewGauge(obs.MetricPoolMaxInFlight,
+		"high-water mark of concurrently executing tasks")
+	mTaskSeconds = obs.NewHistogram(obs.MetricPoolTaskSeconds,
+		"per-task wall time in seconds", obs.DefaultSecondsBuckets())
+)
+
+// runTask executes task with telemetry. With telemetry disabled this is
+// a direct call — no clock reads, no atomics beyond one flag load.
+func runTask(task func(), async bool) {
+	if !obs.Enabled() {
+		task()
+		return
+	}
+	mTasks.Inc()
+	if async {
+		mAsync.Inc()
+	} else {
+		mInline.Inc()
+	}
+	mInFlight.Add(1)
+	mMaxInFlight.SetMax(mInFlight.Value())
+	start := time.Now()
+	task()
+	mTaskSeconds.Observe(time.Since(start).Seconds())
+	mInFlight.Add(-1)
+}

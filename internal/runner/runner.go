@@ -64,10 +64,10 @@ func (p *Pool) submit(wg *sync.WaitGroup, task func()) {
 				<-p.tokens
 				wg.Done()
 			}()
-			task()
+			runTask(task, true)
 		}()
 	default:
-		task()
+		runTask(task, false)
 	}
 }
 
@@ -93,7 +93,9 @@ func Map[In, Out any](ctx context.Context, p *Pool, items []In, fn func(ctx cont
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			v, err := fn(ctx, i, it)
+			var v Out
+			var err error
+			runTask(func() { v, err = fn(ctx, i, it) }, false)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTimelineOutOfOrderEvents checks that a timeline rendered from
+// events recorded out of chronological order is identical to one
+// rendered from the same events recorded in order.
+func TestTimelineOutOfOrderEvents(t *testing.T) {
+	var ordered, shuffled Trace
+	ordered.Record(0, "cpu", "run")
+	ordered.Record(1, "cpu", "idle")
+	ordered.Record(2, "cpu", "run")
+	ordered.Record(3, "cpu", "idle")
+
+	shuffled.Record(2, "cpu", "run")
+	shuffled.Record(0, "cpu", "run")
+	shuffled.Record(3, "cpu", "idle")
+	shuffled.Record(1, "cpu", "idle")
+
+	want := ordered.Timeline(1, []string{"cpu"})
+	got := shuffled.Timeline(1, []string{"cpu"})
+	if got != want {
+		t.Fatalf("out-of-order rendering differs:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+	if !strings.Contains(want, "run") || !strings.Contains(want, "idle") {
+		t.Fatalf("timeline missing states:\n%s", want)
+	}
+}
+
+// TestDuplicateTimestampLastWins checks the documented semantics for
+// two events of one actor at the same instant: the later-recorded event
+// wins (stable sort keeps record order, StateAt takes the last at the
+// best time).
+func TestDuplicateTimestampLastWins(t *testing.T) {
+	var tr Trace
+	tr.Record(1, "wire", "send")
+	tr.Record(1, "wire", "ack")
+	if got := tr.StateAt("wire", 1); got != "ack" {
+		t.Fatalf("StateAt duplicate timestamp = %q, want %q (last recorded)", got, "ack")
+	}
+	// The same holds when the duplicates were recorded around other
+	// events out of order.
+	var tr2 Trace
+	tr2.Record(2, "wire", "idle")
+	tr2.Record(1, "wire", "send")
+	tr2.Record(1, "wire", "ack")
+	if got := tr2.StateAt("wire", 1.5); got != "ack" {
+		t.Fatalf("StateAt after out-of-order duplicates = %q, want %q", got, "ack")
+	}
+	line1 := timelineRow(t, tr.Timeline(1, []string{"wire"}), 0)
+	if !strings.Contains(line1, "ack") {
+		t.Fatalf("timeline row at duplicate timestamp %q, want the last event's state", line1)
+	}
+}
+
+// TestTimelineSingleEvent checks the degenerate one-event log: the span
+// collapses to a point and the timeline still renders a header plus
+// exactly one row carrying the state.
+func TestTimelineSingleEvent(t *testing.T) {
+	var tr Trace
+	tr.Record(2.5, "host", "compute")
+	out := tr.Timeline(0.5, []string{"host"})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("single-event timeline has %d lines, want header + 1 row:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "host") {
+		t.Fatalf("header missing actor: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "2.500") || !strings.Contains(lines[1], "compute") {
+		t.Fatalf("row %q, want time 2.500 in state compute", lines[1])
+	}
+	lo, hi := tr.Span()
+	if lo != 2.5 || hi != 2.5 {
+		t.Fatalf("span = [%v, %v], want the single event time", lo, hi)
+	}
+}
+
+// timelineRow returns the n-th data row (0-based, after the header).
+func timelineRow(t *testing.T, timeline string, n int) string {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(timeline, "\n"), "\n")
+	if n+1 >= len(lines) {
+		t.Fatalf("timeline has no row %d:\n%s", n, timeline)
+	}
+	return lines[n+1]
+}
