@@ -3,7 +3,7 @@ GO ?= go
 # Label stamped into the benchmark snapshot written by `make bench`.
 LABEL ?= dev
 
-.PHONY: all build vet test race check bench benchcmp bench-smoke fmt fuzz calibration-roundtrip obs-gate
+.PHONY: all build vet test race check bench benchcmp bench-smoke fmt fuzz calibration-roundtrip obs-gate serve-gate serve-bench
 
 all: check
 
@@ -27,6 +27,7 @@ race:
 fuzz:
 	$(GO) test -run ^$$ -fuzz '^FuzzFitPiecewise$$' -fuzztime 5s ./internal/stats
 	$(GO) test -run ^$$ -fuzz '^FuzzPoissonBinomial$$' -fuzztime 5s ./internal/prob
+	$(GO) test -run ^$$ -fuzz '^FuzzDecodeRequest$$' -fuzztime 5s ./internal/serve
 
 # Persistence gate: write a calibration envelope, verify it, then prove
 # damaged copies are rejected — a truncated file and a payload with one
@@ -49,8 +50,26 @@ obs-gate:
 	$(GO) test -run 'TestPrometheusExpositionGolden|TestManifestGolden' ./internal/obs
 	@echo "obs-gate: OK"
 
+# Serving gate: the model's property tests, the served-vs-direct
+# bit-for-bit differential over 10k randomized requests, the decoder
+# fuzz corpus (seeds only — `make fuzz` explores), the race-checked
+# soak, and a low-rate loadgen smoke against a self-served instance.
+serve-gate:
+	$(GO) test -run 'TestProperty' ./internal/prob ./internal/core
+	$(GO) test -run 'TestDifferential' ./internal/serve
+	$(GO) test -run 'FuzzDecodeRequest' ./internal/serve
+	$(GO) test -race -run 'TestSoak' ./internal/serve
+	$(GO) run ./cmd/loadgen -duration 1s -conc 4 -warmup 100ms > /dev/null
+	@echo "serve-gate: OK"
+
+# Record the serving benchmark snapshot: a closed-loop loadgen run
+# against a self-served instance, in the same benchjson format as
+# `make bench` so `make benchcmp` can diff serving throughput.
+serve-bench:
+	$(GO) run ./cmd/loadgen -duration 3s -conc 8 -label $(LABEL) -o BENCH_$(LABEL)_serve.json
+
 # The full local gate: everything CI would run.
-check: build vet race fuzz calibration-roundtrip obs-gate bench-smoke
+check: build vet race fuzz calibration-roundtrip obs-gate serve-gate bench-smoke
 
 # Record a benchmark snapshot: full suite with allocation stats, parsed
 # into BENCH_$(LABEL).json for later `make benchcmp` diffs.

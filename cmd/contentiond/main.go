@@ -1,0 +1,185 @@
+// Command contentiond serves contention predictions over HTTP/JSON:
+// the Figueira–Berman slowdown model behind a micro-batching daemon, so
+// a resource manager can ask "what will this transfer (or compute
+// phase) cost under this contender mix" without linking the model.
+//
+// Endpoints:
+//
+//	POST /v1/predict  — comm/comp cost query (see internal/serve.Request)
+//	POST /v1/observe  — feed a predicted/observed residual to the trust layer
+//	GET  /healthz     — liveness + calibration trust state
+//	GET  /metrics     — Prometheus text exposition (with -metrics)
+//
+// Concurrent requests sharing a contender mix are answered by one
+// batched slowdown computation per batching window; when the trust
+// layer detects calibration drift the daemon degrades to the paper's
+// conservative p+1 fallback and says so in every response.
+//
+// Usage:
+//
+//	contentiond                         # built-in synthetic calibration
+//	contentiond -cal sun.calib.json     # stored calibration artifact
+//	contentiond -addr :9090 -window 2ms -metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"contention/internal/caltrust"
+	"contention/internal/core"
+	"contention/internal/obs"
+	"contention/internal/runner"
+	"contention/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8123", "listen address (host:port; :0 picks a free port)")
+	calPath := flag.String("cal", "", "calibration artifact (caltrust JSON); built-in synthetic Sun/Paragon tables when empty")
+	window := flag.Duration("window", serve.DefaultWindow, "micro-batch window (0 flushes per arrival burst, <0 disables batching)")
+	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatch, "flush a batch group early at this many requests")
+	maxInFlight := flag.Int("max-inflight", serve.DefaultMaxInFlight, "admission bound on concurrently served requests")
+	maxQueue := flag.Int("max-queue", serve.DefaultMaxQueue, "admission bound on requests waiting for a slot (0 rejects instead of queueing)")
+	timeout := flag.Duration("timeout", serve.DefaultTimeout, "per-request deadline")
+	metrics := flag.Bool("metrics", false, "record telemetry and expose GET /metrics; implied by -metrics-addr and -run-report")
+	metricsAddr := flag.String("metrics-addr", "", "also serve Prometheus text on http://ADDR/metrics and expvar on /debug/vars")
+	runReport := flag.String("run-report", "", "write a JSON run manifest to this file at exit (plus a Prometheus snapshot beside it)")
+	flag.Parse()
+	defer exitOnPanic()
+	start := time.Now()
+
+	if *metricsAddr != "" || *runReport != "" {
+		*metrics = true
+	}
+	if *metrics {
+		obs.SetEnabled(true)
+	}
+	if *metricsAddr != "" {
+		a, err := obs.ListenAndServe(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metrics-addr:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", a)
+	}
+
+	cal := serve.SyntheticCalibration()
+	calSource := "synthetic"
+	if *calPath != "" {
+		loaded, env, err := caltrust.ReadFile(*calPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cal:", err)
+			os.Exit(1)
+		}
+		cal = loaded
+		calSource = fmt.Sprintf("%s (schema v%d)", *calPath, env.Schema)
+	}
+	// Lenient construction + tracker adoption: an artifact that fails
+	// strict validation is served in the Degraded state (p+1 fallback
+	// with the reason in every response) rather than refused — the
+	// operator sees why on /healthz.
+	pred := core.NewPredictorLenient(cal)
+	tracker, err := caltrust.NewTracker(pred, caltrust.DefaultTrackerConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracker:", err)
+		os.Exit(1)
+	}
+
+	srv, err := serve.New(serve.Config{
+		Pred:        pred,
+		Tracker:     tracker,
+		Pool:        runner.New(0),
+		Window:      *window,
+		MaxBatch:    *maxBatch,
+		MaxInFlight: *maxInFlight,
+		MaxQueue:    *maxQueue,
+		Timeout:     *timeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	if *metrics {
+		mux.Handle("GET /metrics", obs.Default().Handler())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "listen:", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	fmt.Fprintf(os.Stderr, "contentiond on http://%s (calibration %s, trust %s, window %v)\n",
+		ln.Addr(), calSource, tracker.State(), *window)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "%v: draining\n", sig)
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "shutdown:", err)
+	}
+	srv.Close()
+
+	if *runReport != "" {
+		m := obs.NewManifest("contentiond")
+		m.Config = map[string]string{
+			"addr":         *addr,
+			"cal":          calSource,
+			"window":       window.String(),
+			"max_batch":    strconv.Itoa(*maxBatch),
+			"max_inflight": strconv.Itoa(*maxInFlight),
+			"max_queue":    strconv.Itoa(*maxQueue),
+			"timeout":      timeout.String(),
+		}
+		m.StartedAt = start.UTC().Format(time.RFC3339)
+		m.WallSeconds = time.Since(start).Seconds()
+		m.Spans = obs.DefaultTracer().Spans()
+		m.FillFromSnapshot(obs.Default().Snapshot())
+		if err := m.Write(*runReport); err != nil {
+			fmt.Fprintln(os.Stderr, "run-report:", err)
+			os.Exit(1)
+		}
+		prom := strings.TrimSuffix(*runReport, ".json") + ".prom"
+		if err := os.WriteFile(prom, []byte(obs.Default().PrometheusText()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "run-report:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "run manifest: %s (metrics snapshot: %s)\n", *runReport, prom)
+	}
+}
+
+// exitOnPanic turns a stray panic from the internal packages into a
+// clean error exit instead of a crash dump.
+func exitOnPanic() {
+	if r := recover(); r != nil {
+		fmt.Fprintln(os.Stderr, "fatal:", r)
+		os.Exit(1)
+	}
+}

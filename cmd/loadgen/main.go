@@ -1,0 +1,335 @@
+// Command loadgen drives a contentiond prediction service with
+// synthetic traffic and records throughput and latency percentiles in
+// the benchjson snapshot format, so serving performance regressions are
+// caught the same way (`benchjson -diff`) as micro-benchmark ones.
+//
+// Two generator shapes:
+//
+//   - closed loop (-mode closed): -conc workers issue requests
+//     back-to-back; throughput is whatever the service sustains.
+//   - open loop (-mode open): requests arrive on a fixed schedule at
+//     -rate req/s regardless of completions — the shape that exposes
+//     queueing collapse, since arrivals do not slow down when the
+//     server does.
+//
+// With no -addr, loadgen self-serves: it starts an in-process server on
+// a loopback port (built-in synthetic calibration) and drives that, so
+// a smoke run needs no separately started daemon.
+//
+// Usage:
+//
+//	loadgen -duration 5s -conc 8                  # closed loop, self-served
+//	loadgen -mode open -rate 2000 -duration 10s   # open loop at 2 kreq/s
+//	loadgen -addr 127.0.0.1:8123 -o BENCH_serve.json -label pr5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"contention/internal/core"
+	"contention/internal/runner"
+	"contention/internal/serve"
+)
+
+// benchmark and snapshot mirror cmd/benchjson's wire format (that
+// command is package main, so the shapes are restated here; the format
+// is pinned by the snapshot schema test in cmd/benchjson).
+type benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type snapshot struct {
+	Label      string      `json:"label"`
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "target host:port; empty self-serves an in-process server on loopback")
+	mode := flag.String("mode", "closed", "generator shape: closed (back-to-back workers) or open (fixed arrival rate)")
+	conc := flag.Int("conc", 2*runtime.GOMAXPROCS(0), "closed-loop worker count (also open-loop max in-flight)")
+	rate := flag.Float64("rate", 1000, "open-loop arrival rate in req/s")
+	duration := flag.Duration("duration", 3*time.Second, "run length")
+	warmup := flag.Duration("warmup", 300*time.Millisecond, "warm-up run excluded from the recorded stats")
+	seed := flag.Int64("seed", 1, "corpus seed")
+	label := flag.String("label", "loadgen", "snapshot label recorded in the JSON")
+	out := flag.String("o", "", "write benchjson snapshot to this file (default stdout)")
+	window := flag.Duration("window", serve.DefaultWindow, "micro-batch window for the self-served server")
+	flag.Parse()
+
+	if *mode != "closed" && *mode != "open" {
+		fmt.Fprintf(os.Stderr, "-mode %q must be closed or open\n", *mode)
+		os.Exit(2)
+	}
+	if *conc < 1 || *rate <= 0 || *duration <= 0 {
+		fmt.Fprintln(os.Stderr, "-conc, -rate and -duration must be positive")
+		os.Exit(2)
+	}
+
+	target := *addr
+	if target == "" {
+		stop, hostPort, err := selfServe(*window)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "self-serve:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		target = hostPort
+		fmt.Fprintf(os.Stderr, "self-serving on %s (synthetic calibration, window %v)\n", target, *window)
+	}
+	url := "http://" + target + "/v1/predict"
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        4 * *conc,
+		MaxIdleConnsPerHost: 4 * *conc,
+	}}
+
+	bodies := corpus(rand.New(rand.NewSource(*seed)), 512)
+	if *warmup > 0 {
+		run(client, url, bodies, "closed", *conc, *rate, *warmup)
+	}
+	res := run(client, url, bodies, *mode, *conc, *rate, *duration)
+
+	if res.errors > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d/%d requests failed; first: %s\n", res.errors, res.total(), res.firstErr)
+	}
+	if len(res.latencies) == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: no successful requests")
+		os.Exit(1)
+	}
+	sort.Float64s(res.latencies)
+	name := fmt.Sprintf("Loadgen/%s-conc%d", *mode, *conc)
+	if *mode == "open" {
+		name = fmt.Sprintf("Loadgen/open-rate%g", *rate)
+	}
+	snap := snapshot{
+		Label:  *label,
+		GoOS:   runtime.GOOS,
+		GoArch: runtime.GOARCH,
+		CPU:    fmt.Sprintf("GOMAXPROCS=%d", runtime.GOMAXPROCS(0)),
+		Benchmarks: []benchmark{{
+			Name:       name,
+			Iterations: int64(len(res.latencies)),
+			Metrics: map[string]float64{
+				"req/s":    float64(len(res.latencies)) / res.elapsed.Seconds(),
+				"p50-ms":   percentile(res.latencies, 50),
+				"p90-ms":   percentile(res.latencies, 90),
+				"p99-ms":   percentile(res.latencies, 99),
+				"max-ms":   res.latencies[len(res.latencies)-1],
+				"err%":     100 * float64(res.errors) / float64(res.total()),
+				"batched%": 100 * float64(res.batched.Load()) / float64(len(res.latencies)),
+			},
+		}},
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d ok in %v — %.0f req/s, p50 %.3f ms, p90 %.3f ms, p99 %.3f ms, batched %.1f%%\n",
+		name, len(res.latencies), res.elapsed.Round(time.Millisecond),
+		snap.Benchmarks[0].Metrics["req/s"], snap.Benchmarks[0].Metrics["p50-ms"],
+		snap.Benchmarks[0].Metrics["p90-ms"], snap.Benchmarks[0].Metrics["p99-ms"],
+		snap.Benchmarks[0].Metrics["batched%"])
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// selfServe starts an in-process prediction server on a loopback port.
+func selfServe(window time.Duration) (stop func(), hostPort string, err error) {
+	pred, err := core.NewPredictor(serve.SyntheticCalibration())
+	if err != nil {
+		return nil, "", err
+	}
+	srv, err := serve.New(serve.Config{Pred: pred, Pool: runner.New(0), Window: window})
+	if err != nil {
+		return nil, "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, "", err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	return func() { hs.Close(); srv.Close() }, ln.Addr().String(), nil
+}
+
+// corpus builds n request bodies over a small pool of contender mixes,
+// weighted toward mix reuse so the server's micro-batching sees the
+// traffic shape it exists for.
+func corpus(rng *rand.Rand, n int) []string {
+	type mix struct{ specs []serve.ContenderSpec }
+	mixes := make([]mix, 12)
+	for m := range mixes {
+		p := rng.Intn(5)
+		specs := make([]serve.ContenderSpec, p)
+		for i := range specs {
+			specs[i] = serve.ContenderSpec{
+				CommFraction: math.Round(rng.Float64()*80) / 100,
+				MsgWords:     rng.Intn(2000),
+			}
+		}
+		mixes[m].specs = specs
+	}
+	bodies := make([]string, n)
+	for i := range bodies {
+		m := mixes[rng.Intn(len(mixes))]
+		cs, _ := json.Marshal(m.specs)
+		if rng.Intn(2) == 0 {
+			dir := "to_back"
+			if rng.Intn(2) == 0 {
+				dir = "to_host"
+			}
+			sets, _ := json.Marshal([]serve.DataSetSpec{{N: 1 + rng.Intn(100), Words: rng.Intn(4000)}})
+			bodies[i] = fmt.Sprintf(`{"kind":"comm","dir":%q,"sets":%s,"contenders":%s}`, dir, sets, cs)
+		} else {
+			bodies[i] = fmt.Sprintf(`{"kind":"comp","dcomp":%v,"contenders":%s}`, 0.1+rng.Float64()*10, cs)
+		}
+	}
+	return bodies
+}
+
+// result accumulates one run's outcomes.
+type result struct {
+	latencies []float64 // milliseconds, successful requests only
+	errors    int64
+	firstErr  string
+	elapsed   time.Duration
+	batched   atomic.Int64
+}
+
+func (r *result) total() int64 { return int64(len(r.latencies)) + r.errors }
+
+// run executes one generator run and returns the measured outcomes.
+func run(client *http.Client, url string, bodies []string, mode string, conc int, rate float64, d time.Duration) *result {
+	res := &result{}
+	var mu sync.Mutex
+	record := func(lat time.Duration, batch int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			res.errors++
+			if res.firstErr == "" {
+				res.firstErr = err.Error()
+			}
+			return
+		}
+		res.latencies = append(res.latencies, float64(lat)/float64(time.Millisecond))
+		if batch > 1 {
+			res.batched.Add(1)
+		}
+	}
+	one := func(body string) {
+		t0 := time.Now()
+		resp, err := client.Post(url, "application/json", strings.NewReader(body))
+		lat := time.Since(t0)
+		if err != nil {
+			record(0, 0, err)
+			return
+		}
+		var out serve.Response
+		decErr := json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			record(0, 0, fmt.Errorf("status %d", resp.StatusCode))
+			return
+		}
+		if decErr != nil {
+			record(0, 0, decErr)
+			return
+		}
+		record(lat, out.Batch, nil)
+	}
+
+	start := time.Now()
+	deadline := start.Add(d)
+	var wg sync.WaitGroup
+	switch mode {
+	case "closed":
+		for w := 0; w < conc; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				lrng := rand.New(rand.NewSource(int64(w) + 101))
+				for time.Now().Before(deadline) {
+					one(bodies[lrng.Intn(len(bodies))])
+				}
+			}(w)
+		}
+	case "open":
+		// Fixed arrival schedule; a semaphore caps in-flight requests so
+		// an overloaded server surfaces as drops (counted as errors), not
+		// as an unbounded goroutine pile.
+		interval := time.Duration(float64(time.Second) / rate)
+		if interval <= 0 {
+			interval = time.Nanosecond
+		}
+		sem := make(chan struct{}, 4*conc)
+		lrng := rand.New(rand.NewSource(77))
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+	arrivals:
+		for now := range tick.C {
+			if now.After(deadline) {
+				break arrivals
+			}
+			body := bodies[lrng.Intn(len(bodies))]
+			select {
+			case sem <- struct{}{}:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer func() { <-sem }()
+					one(body)
+				}()
+			default:
+				record(0, 0, fmt.Errorf("open-loop overload: %d requests in flight", cap(sem)))
+			}
+		}
+	}
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	return res
+}
+
+// percentile returns the p-th percentile (nearest-rank) of sorted data.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

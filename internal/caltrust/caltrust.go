@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"contention/internal/core"
 	"contention/internal/obs"
@@ -93,8 +94,15 @@ func DefaultTrackerConfig() TrackerConfig {
 // Tracker binds a predictor to the trust state machine: it validates
 // the calibration at adoption, watches prediction residuals for drift,
 // and flips the predictor to its degraded fallback when trust is lost.
+//
+// A Tracker is goroutine-safe: the serving daemon consults State on
+// every request while live residuals stream into Observe. The OnStale
+// hook is invoked outside the tracker's lock, so it may safely call
+// back into the tracker (e.g. Adopt after recalibration).
 type Tracker struct {
-	cfg      TrackerConfig
+	cfg TrackerConfig
+
+	mu       sync.Mutex
 	pred     *core.Predictor
 	det      *Detector
 	state    TrustState
@@ -115,12 +123,14 @@ func NewTracker(pred *core.Predictor, cfg TrackerConfig) (*Tracker, error) {
 		return nil, err
 	}
 	t := &Tracker{cfg: cfg, pred: pred, det: det}
+	t.mu.Lock()
 	t.adopt(pred)
+	t.mu.Unlock()
 	return t, nil
 }
 
 // adopt installs pred and derives the initial trust state from strict
-// validation.
+// validation. Caller holds t.mu.
 func (t *Tracker) adopt(pred *core.Predictor) {
 	t.pred = pred
 	t.det.Reset()
@@ -140,20 +150,40 @@ func (t *Tracker) adopt(pred *core.Predictor) {
 }
 
 // State returns the current trust state.
-func (t *Tracker) State() TrustState { return t.state }
+func (t *Tracker) State() TrustState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state
+}
 
 // Reason explains a non-Fresh state ("" when Fresh).
-func (t *Tracker) Reason() string { return t.reason }
+func (t *Tracker) Reason() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.reason
+}
 
 // Predictor returns the tracked predictor.
-func (t *Tracker) Predictor() *core.Predictor { return t.pred }
+func (t *Tracker) Predictor() *core.Predictor {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pred
+}
 
 // Observed reports how many residuals have been fed in since the last
 // adoption.
-func (t *Tracker) Observed() int { return t.observed }
+func (t *Tracker) Observed() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.observed
+}
 
 // DriftStat exposes the detector's current Page-Hinkley statistic.
-func (t *Tracker) DriftStat() float64 { return t.det.Stat() }
+func (t *Tracker) DriftStat() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.det.Stat()
+}
 
 // Observe feeds one predicted/observed cost pair (same units, both
 // positive and finite) into the drift detector. It returns true at the
@@ -168,25 +198,30 @@ func (t *Tracker) Observe(predicted, observed float64) (bool, error) {
 	if !(observed > 0) || math.IsInf(observed, 0) {
 		return false, fmt.Errorf("caltrust: observed cost %v must be positive and finite", observed)
 	}
+	t.mu.Lock()
 	t.observed++
 	mResiduals.Inc()
 	residual := observed/predicted - 1
 	drifted, err := t.det.Add(residual)
 	if err != nil {
+		t.mu.Unlock()
 		return false, err
 	}
 	if drifted && t.state == Fresh {
 		t.state = Stale
 		t.reason = fmt.Sprintf("drift detected after %d observations (residual %+.3f, PH stat %.3f > λ %.3f)",
 			t.observed, residual, t.det.Stat(), t.cfg.Drift.Lambda)
+		reason := t.reason
 		mDriftAlarms.Inc()
 		mTransitions.With(Stale.String()).Inc()
-		t.pred.MarkStale(t.reason)
+		t.pred.MarkStale(reason)
+		t.mu.Unlock()
 		if t.cfg.OnStale != nil {
-			t.cfg.OnStale(t.reason)
+			t.cfg.OnStale(reason)
 		}
 		return true, nil
 	}
+	t.mu.Unlock()
 	return false, nil
 }
 
@@ -197,6 +232,8 @@ func (t *Tracker) Adopt(pred *core.Predictor) error {
 	if pred == nil {
 		return errors.New("caltrust: nil predictor")
 	}
+	t.mu.Lock()
 	t.adopt(pred)
+	t.mu.Unlock()
 	return nil
 }

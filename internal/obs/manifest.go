@@ -34,11 +34,11 @@ type DriverReport struct {
 
 // PoolReport summarizes the runner pool over the run.
 type PoolReport struct {
-	Workers     int     `json:"workers"`
-	Tasks       int64   `json:"tasks"`
-	Inline      int64   `json:"inline"`
-	Async       int64   `json:"async"`
-	MaxInFlight int64   `json:"max_in_flight"`
+	Workers     int   `json:"workers"`
+	Tasks       int64 `json:"tasks"`
+	Inline      int64 `json:"inline"`
+	Async       int64 `json:"async"`
+	MaxInFlight int64 `json:"max_in_flight"`
 	// Utilization is the fraction of tasks that actually ran on a pool
 	// worker (the rest ran inline on the submitter, the pool's overflow
 	// path).
@@ -72,6 +72,21 @@ type ReliabilityReport struct {
 	MonitorRejected int64 `json:"monitor_rejected,omitempty"`
 }
 
+// ServingReport summarizes the prediction daemon's request handling:
+// traffic volume, outcome mix, micro-batching efficiency, and queue
+// pressure.
+type ServingReport struct {
+	Requests map[string]int64 `json:"requests,omitempty"` // by kind
+	Outcomes map[string]int64 `json:"outcomes,omitempty"` // ok / 4xx class / timeout / rejected
+	Degraded int64            `json:"degraded,omitempty"`
+	Batches  int64            `json:"batches"`
+	// BatchedRequests is the number of requests that went through the
+	// batcher; BatchedRequests/Batches is the amortization factor.
+	BatchedRequests int64   `json:"batched_requests"`
+	MeanBatchSize   float64 `json:"mean_batch_size,omitempty"`
+	MaxQueueDepth   int64   `json:"max_queue_depth,omitempty"`
+}
+
 // Manifest is the schema-versioned record a command writes at the end
 // of a run: what was configured, what calibration was trusted, what the
 // machine actually did. Maps marshal with sorted keys and the embedded
@@ -94,6 +109,7 @@ type Manifest struct {
 	Predictions *PredictionReport  `json:"predictions,omitempty"`
 	Faults      map[string]int64   `json:"faults,omitempty"`
 	Reliability *ReliabilityReport `json:"reliability,omitempty"`
+	Serving     *ServingReport     `json:"serving,omitempty"`
 
 	// Spans is the span log (virtual or wall clock, per tracer).
 	Spans []SpanRecord `json:"spans,omitempty"`
@@ -154,6 +170,37 @@ func (m *Manifest) FillFromSnapshot(s Snapshot) {
 	}
 	if len(faults) > 0 {
 		m.Faults = faults
+	}
+
+	// The serving section only appears when the daemon actually handled
+	// traffic — batch experiment manifests stay unchanged.
+	if batches := s.Counter(MetricServeBatches); batches > 0 || len(s.Labelled(MetricServeRequests)) > 0 {
+		srv := &ServingReport{
+			Batches:       batches,
+			Degraded:      s.Counter(MetricServeDegraded),
+			MaxQueueDepth: int64(s.Gauge(MetricServeQueueDepthMax)),
+		}
+		if reqs := s.Labelled(MetricServeRequests); len(reqs) > 0 {
+			srv.Requests = map[string]int64{}
+			for kind, n := range reqs {
+				srv.Requests[kind] = int64(n)
+			}
+		}
+		if outs := s.Labelled(MetricServeResponses); len(outs) > 0 {
+			srv.Outcomes = map[string]int64{}
+			for outcome, n := range outs {
+				srv.Outcomes[outcome] = int64(n)
+			}
+		}
+		for _, ms := range s.Metrics {
+			if ms.Name == MetricServeBatchSize {
+				srv.BatchedRequests = int64(ms.Sum)
+				if ms.Count > 0 {
+					srv.MeanBatchSize = ms.Sum / float64(ms.Count)
+				}
+			}
+		}
+		m.Serving = srv
 	}
 
 	m.Reliability = &ReliabilityReport{

@@ -46,4 +46,15 @@ const (
 
 	// internal/experiments — per-driver wall time.
 	MetricDriverSeconds = "experiments_driver_seconds" // label: driver
+
+	// internal/serve — the online prediction daemon.
+	MetricServeRequests       = "serve_requests_total"  // label: kind
+	MetricServeResponses      = "serve_responses_total" // label: outcome
+	MetricServeDegraded       = "serve_degraded_total"
+	MetricServeBatches        = "serve_batches_total"
+	MetricServeBatchSize      = "serve_batch_size"
+	MetricServeQueueDepth     = "serve_queue_depth"
+	MetricServeQueueDepthMax  = "serve_queue_depth_max"
+	MetricServeRequestSeconds = "serve_request_seconds"
+	MetricServeFlushSeconds   = "serve_flush_seconds"
 )

@@ -1,0 +1,133 @@
+package rm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Admission is the wall-clock admission controller for the online
+// serving path. The DES-driven Manager above admits *applications* to
+// the simulated platform in virtual time; Admission plays the same role
+// for *prediction requests* hitting the serving daemon in real time: a
+// bounded number run concurrently, a bounded number may wait, and
+// everything beyond that is rejected immediately — the same explicit
+// ErrQueueFull / ErrSubmitTimeout contract as the Manager's bounded
+// batch queue, so callers handle both layers uniformly.
+//
+// Admission is goroutine-safe. The zero value is not usable; build one
+// with NewAdmission.
+type Admission struct {
+	slots chan struct{} // capacity = max concurrent holders
+
+	mu         sync.Mutex
+	waiting    int
+	maxWaiting int // config bound; 0 = no waiting allowed beyond slots
+
+	admitted int64
+	rejected int64
+	timedOut int64
+	peakWait int
+}
+
+// NewAdmission returns a controller allowing maxInFlight concurrent
+// holders (<= 0 selects 1) and at most maxQueue waiters beyond that
+// (<= 0 means no waiting: a request that cannot run immediately is
+// rejected with ErrQueueFull).
+func NewAdmission(maxInFlight, maxQueue int) *Admission {
+	if maxInFlight <= 0 {
+		maxInFlight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Admission{slots: make(chan struct{}, maxInFlight), maxWaiting: maxQueue}
+}
+
+// Acquire takes an admission slot, waiting (bounded by the queue limit)
+// until one frees or ctx expires. It returns nil on admission,
+// ErrQueueFull when the wait queue is at capacity, and ErrSubmitTimeout
+// (wrapping ctx.Err) when the context ends first. Every nil return must
+// be paired with exactly one Release.
+func (a *Admission) Acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		a.mu.Lock()
+		a.admitted++
+		a.mu.Unlock()
+		return nil
+	default:
+	}
+
+	a.mu.Lock()
+	if a.waiting >= a.maxWaiting {
+		a.rejected++
+		a.mu.Unlock()
+		return fmt.Errorf("%w (depth %d)", ErrQueueFull, a.maxWaiting)
+	}
+	a.waiting++
+	if a.waiting > a.peakWait {
+		a.peakWait = a.waiting
+	}
+	a.mu.Unlock()
+
+	defer func() {
+		a.mu.Lock()
+		a.waiting--
+		a.mu.Unlock()
+	}()
+	select {
+	case a.slots <- struct{}{}:
+		a.mu.Lock()
+		a.admitted++
+		a.mu.Unlock()
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		a.timedOut++
+		a.mu.Unlock()
+		return fmt.Errorf("%w: %w", ErrSubmitTimeout, ctx.Err())
+	}
+}
+
+// Release frees a slot taken by a successful Acquire.
+func (a *Admission) Release() {
+	select {
+	case <-a.slots:
+	default:
+		panic("rm: Admission.Release without matching Acquire")
+	}
+}
+
+// InFlight reports the number of currently admitted holders.
+func (a *Admission) InFlight() int { return len(a.slots) }
+
+// Waiting reports the number of requests parked for a slot.
+func (a *Admission) Waiting() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.waiting
+}
+
+// AdmissionStats is a point-in-time summary of an Admission controller.
+type AdmissionStats struct {
+	Admitted, Rejected, TimedOut int64
+	PeakWaiting                  int
+}
+
+// Stats returns cumulative admission counters.
+func (a *Admission) Stats() AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AdmissionStats{
+		Admitted: a.admitted, Rejected: a.rejected, TimedOut: a.timedOut,
+		PeakWaiting: a.peakWait,
+	}
+}
+
+// IsRejection reports whether err is an explicit admission rejection
+// (full queue or timeout) as opposed to an internal failure.
+func IsRejection(err error) bool {
+	return errors.Is(err, ErrQueueFull) || errors.Is(err, ErrSubmitTimeout)
+}

@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"contention/internal/core"
+	"contention/internal/runner"
+)
+
+// corpusMix is one reusable contender mix; the corpus draws from a
+// small pool of mixes so concurrent requests actually share batch keys
+// (the production traffic shape micro-batching exists for).
+type corpusMix struct {
+	specs []ContenderSpec
+	cs    []core.Contender
+}
+
+// newCorpus builds nMix random contender mixes from a seeded RNG.
+func newCorpus(rng *rand.Rand, nMix int) []corpusMix {
+	mixes := make([]corpusMix, nMix)
+	for m := range mixes {
+		n := rng.Intn(6) // 0..5 contenders
+		specs := make([]ContenderSpec, n)
+		cs := make([]core.Contender, n)
+		for i := 0; i < n; i++ {
+			comm := math.Round(rng.Float64()*0.8*100) / 100
+			var io float64
+			if rng.Intn(3) == 0 {
+				io = math.Round(rng.Float64()*(1-comm)*100) / 100
+			}
+			words := rng.Intn(2000)
+			specs[i] = ContenderSpec{CommFraction: comm, MsgWords: words, IOFraction: io}
+			cs[i] = core.Contender{CommFraction: comm, MsgWords: words, IOFraction: io}
+		}
+		mixes[m] = corpusMix{specs: specs, cs: cs}
+	}
+	return mixes
+}
+
+// corpusRequest is one randomized request plus the direct-call answer
+// function evaluated against a reference predictor.
+type corpusRequest struct {
+	body   string
+	direct func(p *core.Predictor) (float64, error)
+}
+
+// randomRequest draws one request from the corpus.
+func randomRequest(rng *rand.Rand, mixes []corpusMix) corpusRequest {
+	mix := mixes[rng.Intn(len(mixes))]
+	wire, _ := json.Marshal(mix.specs)
+	if rng.Intn(2) == 0 { // comm
+		dirName, dir := "to_back", core.HostToBack
+		if rng.Intn(2) == 0 {
+			dirName, dir = "to_host", core.BackToHost
+		}
+		nSets := 1 + rng.Intn(3)
+		sets := make([]core.DataSet, nSets)
+		specs := make([]DataSetSpec, nSets)
+		for i := range sets {
+			n, words := 1+rng.Intn(50), rng.Intn(4000)
+			sets[i] = core.DataSet{N: n, Words: words}
+			specs[i] = DataSetSpec{N: n, Words: words}
+		}
+		setsWire, _ := json.Marshal(specs)
+		return corpusRequest{
+			body: fmt.Sprintf(`{"kind":"comm","dir":%q,"sets":%s,"contenders":%s}`, dirName, setsWire, wire),
+			direct: func(p *core.Predictor) (float64, error) {
+				return p.PredictComm(dir, sets, mix.cs)
+			},
+		}
+	}
+	dcomp := math.Round(rng.Float64()*1e4*1e6) / 1e6
+	if rng.Intn(4) == 0 { // explicit j
+		j := rng.Intn(1500)
+		return corpusRequest{
+			body: fmt.Sprintf(`{"kind":"comp","dcomp":%v,"j":%d,"contenders":%s}`, dcomp, j, wire),
+			direct: func(p *core.Predictor) (float64, error) {
+				return p.PredictCompWithJ(dcomp, mix.cs, j)
+			},
+		}
+	}
+	return corpusRequest{
+		body: fmt.Sprintf(`{"kind":"comp","dcomp":%v,"contenders":%s}`, dcomp, wire),
+		direct: func(p *core.Predictor) (float64, error) {
+			return p.PredictComp(dcomp, mix.cs)
+		},
+	}
+}
+
+// TestDifferentialServedEqualsDirect proves batching does not change
+// answers: every served prediction over a 10k randomized request corpus
+// is bit-for-bit identical to a direct in-process Predictor call made
+// against an independent predictor built from the same calibration.
+func TestDifferentialServedEqualsDirect(t *testing.T) {
+	const (
+		corpusSize  = 10_000
+		concurrency = 64
+	)
+	served := newTestPredictor(t)
+	reference := newTestPredictor(t) // independent instance: serving must not perturb it
+	s, err := New(Config{
+		Pred:   served,
+		Pool:   runner.New(0),
+		Window: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	client.Transport.(*http.Transport).MaxIdleConnsPerHost = concurrency
+
+	rng := rand.New(rand.NewSource(5))
+	mixes := newCorpus(rng, 24)
+	reqs := make([]corpusRequest, corpusSize)
+	for i := range reqs {
+		reqs[i] = randomRequest(rng, mixes)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		mismatch []string
+		fails    []string
+		batched  int64
+	)
+	work := make(chan int)
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				req := reqs[i]
+				resp, err := client.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(req.body))
+				if err != nil {
+					mu.Lock()
+					fails = append(fails, fmt.Sprintf("request %d: %v", i, err))
+					mu.Unlock()
+					continue
+				}
+				var out Response
+				decodeErr := json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if decodeErr != nil || resp.StatusCode != http.StatusOK {
+					mu.Lock()
+					fails = append(fails, fmt.Sprintf("request %d: status %d decode %v", i, resp.StatusCode, decodeErr))
+					mu.Unlock()
+					continue
+				}
+				want, err := req.direct(reference)
+				if err != nil {
+					mu.Lock()
+					fails = append(fails, fmt.Sprintf("request %d direct: %v", i, err))
+					mu.Unlock()
+					continue
+				}
+				if math.Float64bits(out.Value) != math.Float64bits(want) {
+					mu.Lock()
+					mismatch = append(mismatch, fmt.Sprintf("request %d: served %x direct %x (%v vs %v)\n  body %s",
+						i, math.Float64bits(out.Value), math.Float64bits(want), out.Value, want, req.body))
+					mu.Unlock()
+				}
+				if out.Batch > 1 {
+					mu.Lock()
+					batched++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range reqs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	if len(fails) > 0 {
+		t.Fatalf("%d requests failed; first: %s", len(fails), fails[0])
+	}
+	if len(mismatch) > 0 {
+		t.Fatalf("%d/%d served != direct; first: %s", len(mismatch), corpusSize, mismatch[0])
+	}
+	if batched == 0 {
+		t.Fatal("corpus never exercised a multi-request batch — differential test lost its point")
+	}
+	t.Logf("%d requests bit-identical to direct calls; %d answered in multi-request batches", corpusSize, batched)
+}
+
+// TestDifferentialDegradedEqualsRobust is the degraded-mode analogue:
+// with the calibration marked stale, served answers must equal the
+// direct PredictCommRobust/PredictCompRobust fallback bit-for-bit.
+func TestDifferentialDegradedEqualsRobust(t *testing.T) {
+	served := newTestPredictor(t)
+	reference := newTestPredictor(t)
+	served.MarkStale("drift detected (test)")
+	reference.MarkStale("drift detected (test)")
+	s, err := New(Config{Pred: served, Window: -1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rng := rand.New(rand.NewSource(11))
+	mixes := newCorpus(rng, 8)
+	for i := 0; i < 500; i++ {
+		req := randomRequest(rng, mixes)
+		code, out := post(t, ts.Client(), ts.URL+"/v1/predict", req.body)
+		if code != http.StatusOK {
+			t.Fatalf("request %d: status %d: %v", i, code, out)
+		}
+		if out["degraded"] != true {
+			t.Fatalf("request %d: not degraded: %v", i, out)
+		}
+	}
+	// Spot-check exact worst-case values through the typed path.
+	cs := mixes[1].cs
+	q := query{kind: "comp", dcomp: 3.25, cs: cs}
+	resp, err := s.Predict(t.Context(), q)
+	if err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	direct, err := reference.PredictCompRobust(3.25, cs)
+	if err != nil {
+		t.Fatalf("direct robust: %v", err)
+	}
+	if math.Float64bits(resp.Value) != math.Float64bits(direct.Value) {
+		t.Fatalf("degraded served %v != robust %v", resp.Value, direct.Value)
+	}
+}

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeRequest fuzzes the wire decoder and validator with
+// arbitrary bodies. The contract: DecodeRequest + validate either
+// succeed or fail with a *RequestError whose status is 4xx — malformed
+// JSON, NaN/Inf sizes, negative contender counts, unknown fields,
+// oversized bodies, and binary garbage must never panic and must never
+// be classified as a server-side (5xx) fault.
+func FuzzDecodeRequest(f *testing.F) {
+	seeds := []string{
+		`{"kind":"comm","dir":"to_back","sets":[{"n":10,"words":100}],"contenders":[{"comm_fraction":0.2,"msg_words":50}]}`,
+		`{"kind":"comp","dcomp":1.5,"contenders":[{"comm_fraction":0.2,"msg_words":50}]}`,
+		`{"kind":"comp","dcomp":1.5,"j":500,"p":3,"contenders":[{"comm_fraction":0.2,"msg_words":50}]}`,
+		`{"kind":"comp","dcomp":NaN}`,
+		`{"kind":"comp","dcomp":1e309}`,
+		`{"kind":"comp","dcomp":-4}`,
+		`{"kind":"comp","dcomp":1,"p":-3,"contenders":[{"comm_fraction":0.2}]}`,
+		`{"kind":"comp","dcomp":1,"contenders":[{"comm_fraction":-0.5,"msg_words":-7}]}`,
+		`{"kind":"comm","dir":"sideways","sets":[{"n":1,"words":1}]}`,
+		`{"kind":"comm","dir":"to_back","sets":[]}`,
+		`{"kind":"","contenders":null}`,
+		`{"unknown_field":true}`,
+		`{"kind":"comp","dcomp":1}{"trailing":"document"}`,
+		`[1,2,3]`, `"just a string"`, `null`, `42`, ``, `{`, "\x00\xff\xfe",
+		strings.Repeat(`{"kind":"comp",`, 10_000),
+		`{"kind":"comp","dcomp":1,"contenders":[` + strings.Repeat(`{"comm_fraction":0.1},`, 64) + `{"comm_fraction":0.1}]}`,
+		`{"kind":"comp","dcomp":1,"j":2147483648}`,
+		`{"kind":"comm","dir":"to_host","sets":[{"n":-1,"words":100}],"contenders":[]}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		req, err := DecodeRequest(strings.NewReader(body))
+		if err != nil {
+			requireRequestError(t, err, body)
+			return
+		}
+		if _, err := req.validate(); err != nil {
+			requireRequestError(t, err, body)
+		}
+	})
+}
+
+// requireRequestError asserts err is the typed 4xx rejection the
+// handler maps to a client-fault status.
+func requireRequestError(t *testing.T, err error, body string) {
+	t.Helper()
+	var re *RequestError
+	if !errors.As(err, &re) {
+		t.Fatalf("error is %T, not *RequestError: %v\nbody: %q", err, err, body)
+	}
+	if st := statusFor(err); st < 400 || st > 499 {
+		t.Fatalf("statusFor = %d, want 4xx: %v\nbody: %q", st, err, body)
+	}
+}

@@ -1,0 +1,27 @@
+package serve
+
+import "contention/internal/obs"
+
+// Serving telemetry. Request/response tallies are labelled families so
+// the run manifest can break traffic down by kind and outcome; batch
+// size and latency are histograms on the shared default buckets.
+var (
+	mRequests = obs.NewCounterVec(obs.MetricServeRequests,
+		"prediction requests received, by kind", "kind")
+	mResponses = obs.NewCounterVec(obs.MetricServeResponses,
+		"prediction responses sent, by outcome", "outcome")
+	mDegraded = obs.NewCounter(obs.MetricServeDegraded,
+		"responses answered with the conservative p+1 fallback")
+	mBatches = obs.NewCounter(obs.MetricServeBatches,
+		"micro-batch flushes executed")
+	mBatchSize = obs.NewHistogram(obs.MetricServeBatchSize,
+		"requests per micro-batch flush", obs.DefaultSizeBuckets())
+	mQueueDepth = obs.NewGauge(obs.MetricServeQueueDepth,
+		"requests currently parked in the batcher")
+	mQueueDepthMax = obs.NewGauge(obs.MetricServeQueueDepthMax,
+		"high-water mark of the batcher queue depth")
+	mRequestSeconds = obs.NewHistogram(obs.MetricServeRequestSeconds,
+		"end-to-end request latency in seconds", obs.DefaultSecondsBuckets())
+	mFlushSeconds = obs.NewHistogram(obs.MetricServeFlushSeconds,
+		"micro-batch flush duration in seconds", obs.DefaultSecondsBuckets())
+)

@@ -1,0 +1,539 @@
+// Package serve is the online prediction front end: an HTTP/JSON
+// service that answers slowdown-adjusted cost queries from the
+// Figueira–Berman model at traffic rates far beyond what per-request
+// model evaluation would allow.
+//
+// The core trick is micro-batching. The mixture slowdowns are pure
+// functions of the contender multiset (plus the delay^{i,j} column),
+// and real scheduler traffic is heavily repetitive in exactly that key
+// — many concurrent queries price different transfers under the same
+// job mix. The server therefore parks concurrent requests for one
+// batch window, groups them per (kind, direction, j, contender
+// multiset) key, and answers each group with a single
+// PredictCommBatch/PredictCompBatch call: one Poisson-binomial DP per
+// group per window, amortized over every request in it. Group
+// evaluations fan out on the shared internal/runner pool.
+//
+// Around the batcher sit the production concerns the rest of the stack
+// already provides: rm.Admission bounds concurrent and queued requests
+// (explicit 429s instead of collapse), per-request deadlines bound tail
+// latency (504), and the caltrust trust state is consulted on every
+// request — a Stale or Degraded calibration flips the server to the
+// conservative p+1 fallback (answers flagged degraded, never silently
+// wrong). Everything is instrumented through internal/obs.
+//
+// Batching is exact, not approximate: a batched answer is bit-for-bit
+// identical to the direct Predictor call for the same request (the
+// differential test enforces this over a randomized corpus).
+package serve
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"contention/internal/caltrust"
+	"contention/internal/core"
+	"contention/internal/obs"
+	"contention/internal/rm"
+	"contention/internal/runner"
+)
+
+// Admission rejections surface the resource manager's own sentinel
+// errors, so clients of both layers handle one vocabulary.
+var (
+	ErrQueueFull = rm.ErrQueueFull
+	// ErrDeadline is returned when a request's deadline expires before
+	// its batch is evaluated.
+	ErrDeadline = errors.New("serve: request deadline exceeded")
+	// ErrClosed is returned for requests submitted after Close.
+	ErrClosed = errors.New("serve: server closed")
+)
+
+// Defaults applied by New for zero Config fields.
+const (
+	DefaultWindow      = time.Millisecond
+	DefaultMaxBatch    = 256
+	DefaultMaxInFlight = 1024
+	DefaultMaxQueue    = 4096
+	DefaultTimeout     = 2 * time.Second
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Pred answers the queries. Required.
+	Pred *core.Predictor
+	// Tracker, when non-nil, is the calibration trust state consulted on
+	// every request: any non-Fresh state short-circuits to the p+1
+	// degraded fallback, exactly like the batch drivers.
+	Tracker *caltrust.Tracker
+	// Pool fans group evaluations out at flush time; nil evaluates
+	// serially on the flushing goroutine.
+	Pool *runner.Pool
+	// Window is the micro-batch window: how long the first request of a
+	// window parks waiting for peers. 0 selects DefaultWindow; negative
+	// disables batching across arrivals (each request still batches with
+	// whatever queued while a flush was in progress).
+	Window time.Duration
+	// MaxBatch flushes a group early when it reaches this many requests.
+	// 0 selects DefaultMaxBatch.
+	MaxBatch int
+	// MaxInFlight bounds concurrently admitted requests (0 selects
+	// DefaultMaxInFlight); MaxQueue bounds requests waiting for
+	// admission beyond that (0 selects DefaultMaxQueue).
+	MaxInFlight int
+	MaxQueue    int
+	// Timeout is the per-request deadline ceiling applied by the HTTP
+	// handler. 0 selects DefaultTimeout.
+	Timeout time.Duration
+}
+
+// Server is the prediction service. Build with New; it is goroutine-safe.
+type Server struct {
+	cfg Config
+	adm *rm.Admission
+
+	mu       sync.Mutex
+	groups   map[string]*group
+	pendingN int
+	armed    bool
+	closed   bool
+
+	// flushStall, when non-nil, is invoked at the start of every flush —
+	// the fault-injection hook the soak test uses to stall evaluation.
+	flushStall func()
+}
+
+// pendingReq is one parked request.
+type pendingReq struct {
+	q  query
+	ch chan outcome
+}
+
+type outcome struct {
+	resp Response
+	err  error
+}
+
+// group is the set of parked requests sharing one batch key.
+type group struct {
+	reqs []*pendingReq
+}
+
+// New builds a server, applying defaults for zero Config fields.
+func New(cfg Config) (*Server, error) {
+	if cfg.Pred == nil {
+		return nil, errors.New("serve: Config.Pred is required")
+	}
+	if cfg.Window == 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = DefaultMaxQueue
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	return &Server{
+		cfg:    cfg,
+		adm:    rm.NewAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		groups: map[string]*group{},
+	}, nil
+}
+
+// Config returns the effective (default-filled) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Admission exposes the admission controller (for stats).
+func (s *Server) Admission() *rm.Admission { return s.adm }
+
+// Close flushes every parked request and fails all future submissions
+// with ErrClosed. Safe to call more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	gs := s.takeLocked()
+	s.mu.Unlock()
+	s.runGroups(gs)
+}
+
+// degradeReason reports why predictions cannot currently be trusted
+// ("" when they can).
+func (s *Server) degradeReason() string {
+	if t := s.cfg.Tracker; t != nil {
+		if st := t.State(); st != caltrust.Fresh {
+			return fmt.Sprintf("calibration %s: %s", st, t.Reason())
+		}
+	}
+	if st := s.cfg.Pred.Stale(); st != "" {
+		return "stale calibration: " + st
+	}
+	return ""
+}
+
+// Predict answers one validated query, micro-batching it with
+// concurrent peers. It blocks until the answer is computed, the context
+// ends (ErrDeadline), or admission rejects the request.
+func (s *Server) Predict(ctx context.Context, q query) (Response, error) {
+	mRequests.With(q.kind).Inc()
+	if err := s.adm.Acquire(ctx); err != nil {
+		if errors.Is(err, rm.ErrSubmitTimeout) {
+			return Response{}, fmt.Errorf("%w: %w", ErrDeadline, err)
+		}
+		return Response{}, err
+	}
+	defer s.adm.Release()
+
+	// Degraded fast path: a calibration that cannot be trusted answers
+	// with the conservative worst case immediately — no batching, no DP.
+	if reason := s.degradeReason(); reason != "" {
+		return s.predictDegraded(q, reason)
+	}
+
+	req := &pendingReq{q: q, ch: make(chan outcome, 1)}
+	if flushNow := s.enqueue(req); flushNow != nil {
+		s.runGroups(flushNow)
+	}
+	select {
+	case out := <-req.ch:
+		return out.resp, out.err
+	case <-ctx.Done():
+		return Response{}, fmt.Errorf("%w: %w", ErrDeadline, ctx.Err())
+	}
+}
+
+// predictDegraded answers via the Robust p+1 fallback.
+func (s *Server) predictDegraded(q query, reason string) (Response, error) {
+	mDegraded.Inc()
+	var pred core.Prediction
+	var err error
+	switch q.kind {
+	case "comm":
+		pred, err = s.cfg.Pred.PredictCommRobust(q.dir, q.sets, q.cs)
+	default:
+		pred, err = s.cfg.Pred.PredictCompRobust(q.dcomp, q.cs)
+	}
+	if err != nil {
+		return Response{}, err
+	}
+	if !pred.Degraded {
+		// Robust found the calibration usable after all (e.g. the mark
+		// cleared between the check and the call); keep the flag honest.
+		pred.Degraded, pred.Reason = true, reason
+	}
+	return Response{Value: pred.Value, Degraded: true, Reason: pred.Reason}, nil
+}
+
+// enqueue parks the request under its batch key. It returns a non-nil
+// group list when the caller must flush immediately (group hit
+// MaxBatch, or batching across arrivals is disabled).
+func (s *Server) enqueue(req *pendingReq) []*group {
+	key := batchKey(req.q)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		req.ch <- outcome{err: ErrClosed}
+		return nil
+	}
+	g := s.groups[key]
+	if g == nil {
+		g = &group{}
+		s.groups[key] = g
+	}
+	g.reqs = append(g.reqs, req)
+	s.pendingN++
+	mQueueDepth.Set(float64(s.pendingN))
+	mQueueDepthMax.SetMax(float64(s.pendingN))
+
+	if len(g.reqs) >= s.cfg.MaxBatch {
+		delete(s.groups, key)
+		s.pendingN -= len(g.reqs)
+		mQueueDepth.Set(float64(s.pendingN))
+		s.mu.Unlock()
+		return []*group{g}
+	}
+	if s.cfg.Window < 0 {
+		gs := s.takeLocked()
+		s.mu.Unlock()
+		return gs
+	}
+	if !s.armed {
+		s.armed = true
+		time.AfterFunc(s.cfg.Window, s.flushWindow)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// takeLocked detaches every parked group. Caller holds s.mu.
+func (s *Server) takeLocked() []*group {
+	gs := make([]*group, 0, len(s.groups))
+	for key, g := range s.groups {
+		gs = append(gs, g)
+		delete(s.groups, key)
+	}
+	s.pendingN = 0
+	mQueueDepth.Set(0)
+	return gs
+}
+
+// flushWindow is the batch-window timer callback.
+func (s *Server) flushWindow() {
+	s.mu.Lock()
+	s.armed = false
+	gs := s.takeLocked()
+	s.mu.Unlock()
+	s.runGroups(gs)
+}
+
+// runGroups evaluates detached groups, fanning out on the pool. Each
+// group costs one slowdown DP regardless of its size.
+func (s *Server) runGroups(gs []*group) {
+	if len(gs) == 0 {
+		return
+	}
+	if s.flushStall != nil {
+		s.flushStall()
+	}
+	span := obs.StartSpan("serve", "batch-flush")
+	start := time.Now()
+	// The flush context is deliberately Background: individual request
+	// deadlines must not cancel work their batch peers still wait on.
+	_, _ = runner.Map(context.Background(), s.cfg.Pool, gs,
+		func(_ context.Context, _ int, g *group) (struct{}, error) {
+			s.evalGroup(g)
+			return struct{}{}, nil
+		})
+	mFlushSeconds.Observe(time.Since(start).Seconds())
+	span.End()
+}
+
+// evalGroup answers every request in one group with a single batched
+// predictor call.
+func (s *Server) evalGroup(g *group) {
+	n := len(g.reqs)
+	if n == 0 {
+		return
+	}
+	mBatches.Inc()
+	mBatchSize.Observe(float64(n))
+
+	first := g.reqs[0].q
+	// All requests in a group share kind, direction, j selection, and
+	// contender multiset — that is what the batch key canonicalizes.
+	var vals []float64
+	var err error
+	switch first.kind {
+	case "comm":
+		batches := make([][]core.DataSet, n)
+		for i, r := range g.reqs {
+			batches[i] = r.q.sets
+		}
+		vals, err = s.cfg.Pred.PredictCommBatch(first.dir, batches, first.cs)
+	default:
+		dcomps := make([]float64, n)
+		for i, r := range g.reqs {
+			dcomps[i] = r.q.dcomp
+		}
+		if first.hasJ {
+			vals, err = s.cfg.Pred.PredictCompBatchWithJ(dcomps, first.cs, first.j)
+		} else {
+			vals, err = s.cfg.Pred.PredictCompBatch(dcomps, first.cs)
+		}
+	}
+	if err != nil {
+		for _, r := range g.reqs {
+			r.ch <- outcome{err: err}
+		}
+		return
+	}
+	for i, r := range g.reqs {
+		r.ch <- outcome{resp: Response{Value: vals[i], Batch: n}}
+	}
+}
+
+// batchKey canonicalizes a query into its micro-batch key: kind,
+// direction, explicit-j selection, and the order-insensitive contender
+// multiset. Two queries with equal keys are answerable by one batched
+// predictor call.
+func batchKey(q query) string {
+	cs := append([]core.Contender(nil), q.cs...)
+	sort.Slice(cs, func(i, j int) bool {
+		a, b := cs[i], cs[j]
+		if a.CommFraction != b.CommFraction {
+			return a.CommFraction < b.CommFraction
+		}
+		if a.IOFraction != b.IOFraction {
+			return a.IOFraction < b.IOFraction
+		}
+		return a.MsgWords < b.MsgWords
+	})
+	buf := make([]byte, 0, 2+9+24*len(cs))
+	// kind[0] is 'c' for both comm and comp — use the last byte ('m' vs
+	// 'p') so the two kinds can never share a batch group.
+	buf = append(buf, q.kind[len(q.kind)-1], byte(q.dir))
+	if q.hasJ {
+		buf = append(buf, 1)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(q.j))
+	} else {
+		buf = append(buf, 0)
+	}
+	for _, c := range cs {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.CommFraction))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.IOFraction))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(c.MsgWords))
+	}
+	return string(buf)
+}
+
+// --- HTTP front end ----------------------------------------------------------
+
+// Handler returns the service mux:
+//
+//	POST /v1/predict  — one prediction query (Request → Response)
+//	POST /v1/observe  — feed a predicted/observed residual to the trust
+//	                    tracker (drift detection over live traffic)
+//	GET  /healthz     — liveness + trust state
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.HandleFunc("POST /v1/observe", s.handleObserve)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// outcomeLabel classifies an error for the responses-by-outcome series.
+func outcomeLabel(err error) string {
+	var reqErr *RequestError
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.As(err, &reqErr):
+		return "bad_request"
+	case errors.Is(err, ErrQueueFull):
+		return "rejected"
+	case errors.Is(err, ErrDeadline):
+		return "timeout"
+	case errors.Is(err, ErrClosed):
+		return "closed"
+	default:
+		return "model_error"
+	}
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	resp, err := s.servePredict(r)
+	mResponses.With(outcomeLabel(err)).Inc()
+	mRequestSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		status := statusFor(err)
+		if errors.Is(err, ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// servePredict decodes, validates, and answers one HTTP query.
+func (s *Server) servePredict(r *http.Request) (Response, error) {
+	req, err := DecodeRequest(r.Body)
+	if err != nil {
+		return Response{}, err
+	}
+	q, err := req.validate()
+	if err != nil {
+		return Response{}, err
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	return s.Predict(ctx, q)
+}
+
+// observeRequest is the wire form of one residual observation.
+type observeRequest struct {
+	Predicted float64 `json:"predicted"`
+	Observed  float64 `json:"observed"`
+}
+
+type observeResponse struct {
+	Drifted bool   `json:"drifted"`
+	Trust   string `json:"trust"`
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Tracker == nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: "no trust tracker configured"})
+		return
+	}
+	dec := json.NewDecoder(io.LimitReader(r.Body, MaxBodyBytes+1))
+	dec.DisallowUnknownFields()
+	var req observeRequest
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "malformed observation: " + err.Error()})
+		return
+	}
+	drifted, err := s.cfg.Tracker.Observe(req.Predicted, req.Observed)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, observeResponse{Drifted: drifted, Trust: s.cfg.Tracker.State().String()})
+}
+
+// healthResponse is the /healthz body.
+type healthResponse struct {
+	Status   string  `json:"status"`
+	Trust    string  `json:"trust"`
+	Reason   string  `json:"reason,omitempty"`
+	WindowMS float64 `json:"window_ms"`
+	InFlight int     `json:"in_flight"`
+	Waiting  int     `json:"waiting"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := healthResponse{
+		Status:   "ok",
+		Trust:    caltrust.Fresh.String(),
+		WindowMS: float64(s.cfg.Window) / float64(time.Millisecond),
+		InFlight: s.adm.InFlight(),
+		Waiting:  s.adm.Waiting(),
+	}
+	if t := s.cfg.Tracker; t != nil {
+		h.Trust = t.State().String()
+		h.Reason = t.Reason()
+	} else if st := s.cfg.Pred.Stale(); st != "" {
+		h.Trust = caltrust.Stale.String()
+		h.Reason = st
+	}
+	if h.Trust != caltrust.Fresh.String() {
+		h.Status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

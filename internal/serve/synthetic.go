@@ -1,0 +1,36 @@
+package serve
+
+import "contention/internal/core"
+
+// SyntheticCalibration is a built-in Sun/Paragon-shaped calibration the
+// daemon falls back to when no stored artifact is supplied (and the
+// load/soak harnesses use so they need no calibration run at startup).
+// The numbers are modeled on the paper's measured tables: delay tables
+// monotone non-decreasing in contender count, a piecewise comm model
+// with the 1024-word knee, and delay^{i,j} columns for the calibrated
+// j ∈ {1, 500, 1000}. It passes both core validation and the caltrust
+// strict invariant checks.
+func SyntheticCalibration() core.Calibration {
+	return core.Calibration{
+		Platform: "synthetic-sun-paragon",
+		ToBack: core.CommModel{
+			Threshold: 1024,
+			Small:     core.CommPiece{Alpha: 1.4e-3, Beta: 0.61e6},
+			Large:     core.CommPiece{Alpha: 1.8e-3, Beta: 1.23e6},
+		},
+		ToHost: core.CommModel{
+			Threshold: 1024,
+			Small:     core.CommPiece{Alpha: 1.6e-3, Beta: 0.58e6},
+			Large:     core.CommPiece{Alpha: 2.1e-3, Beta: 1.19e6},
+		},
+		Tables: core.DelayTables{
+			CompOnComm: []float64{0.31, 0.58, 0.83, 1.05, 1.26, 1.45, 1.63, 1.80},
+			CommOnComm: []float64{0.92, 1.79, 2.61, 3.38, 4.11, 4.80, 5.45, 6.07},
+			CommOnComp: map[int][]float64{
+				1:    {0.08, 0.15, 0.21, 0.27, 0.32, 0.37, 0.41, 0.45},
+				500:  {0.55, 1.04, 1.48, 1.89, 2.27, 2.62, 2.95, 3.26},
+				1000: {0.88, 1.68, 2.41, 3.08, 3.70, 4.28, 4.82, 5.33},
+			},
+		},
+	}
+}
