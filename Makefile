@@ -3,7 +3,7 @@ GO ?= go
 # Label stamped into the benchmark snapshot written by `make bench`.
 LABEL ?= dev
 
-.PHONY: all build vet test race check bench benchcmp bench-smoke fmt fuzz calibration-roundtrip obs-gate serve-gate serve-bench
+.PHONY: all build vet test race check bench benchcmp bench-smoke fmt fuzz calibration-roundtrip obs-gate serve-gate serve-bench cluster-gate cluster-bench
 
 all: check
 
@@ -68,8 +68,27 @@ serve-gate:
 serve-bench:
 	$(GO) run ./cmd/loadgen -duration 3s -conc 8 -label $(LABEL) -o BENCH_$(LABEL)_serve.json
 
+# Cluster gate: ring and breaker property tests, the supervisor/router
+# behavior battery, the race-checked chaos soak (4 real replicas, 16
+# closed-loop workers, seeded kills/stalls/degradations mid-load, ≥99%
+# success, fleet self-heals, no goroutine leaks), and a loadgen smoke
+# through the affinity router.
+cluster-gate:
+	$(GO) test -run 'TestRing|TestBreaker' ./internal/cluster
+	$(GO) test -run 'TestCluster' ./internal/cluster
+	$(GO) test -run 'TestPlanChaos' ./internal/faults
+	$(GO) test -race -run 'TestChaos' ./internal/cluster
+	$(GO) run ./cmd/loadgen -cluster 3 -duration 1s -conc 4 -warmup 100ms > /dev/null
+	@echo "cluster-gate: OK"
+
+# Record the cluster benchmark snapshot: the serve-bench traffic shape
+# through a 4-replica fleet behind the affinity router, so batched% and
+# throughput are diffable against the single-replica numbers.
+cluster-bench:
+	$(GO) run ./cmd/loadgen -cluster 4 -duration 3s -conc 8 -label $(LABEL) -o BENCH_$(LABEL)_cluster.json
+
 # The full local gate: everything CI would run.
-check: build vet race fuzz calibration-roundtrip obs-gate serve-gate bench-smoke
+check: build vet race fuzz calibration-roundtrip obs-gate serve-gate cluster-gate bench-smoke
 
 # Record a benchmark snapshot: full suite with allocation stats, parsed
 # into BENCH_$(LABEL).json for later `make benchcmp` diffs.

@@ -140,6 +140,9 @@ func main() {
 		}
 	}
 
+	// Flip /readyz to 503 first so routers stop sending new work, then
+	// let in-flight requests finish within the shutdown deadline.
+	srv.Drain()
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {

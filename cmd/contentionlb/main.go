@@ -1,0 +1,207 @@
+// Command contentionlb fronts a self-healing fleet of contention
+// prediction replicas: a supervisor spawns N backends (in-process
+// serve.Servers, or child-process contentiond daemons with -exec),
+// babysits them through crashes with seeded exponential backoff, and
+// routes requests by batch-key affinity so concurrent queries sharing a
+// contender mix still collapse into one slowdown computation on one
+// replica.
+//
+// The API surface is identical to a single contentiond, so clients
+// cannot tell a fleet from a daemon:
+//
+//	POST /v1/predict  — routed by contender-mix affinity, with failover
+//	POST /v1/observe  — residual broadcast to every up replica
+//	GET  /healthz     — fleet health + per-member detail
+//	GET  /readyz      — 503 while draining or with zero replicas up
+//	GET  /metrics     — Prometheus text exposition (with -metrics)
+//
+// Around the consistent-hash ring sit the robustness layers: per-replica
+// circuit breakers over a rolling error rate, load-aware spill past a
+// busy primary, bounded retries under a cluster-wide retry budget, and
+// optional hedged second requests (-hedge) for tail-latency protection.
+// SIGTERM drains: readiness flips off, in-flight requests finish, then
+// every replica shuts down gracefully.
+//
+// Usage:
+//
+//	contentionlb -replicas 4                      # 4 in-process replicas
+//	contentionlb -replicas 4 -exec ./contentiond  # 4 child-process daemons
+//	contentionlb -replicas 4 -hedge 5ms -metrics -addr :9000
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"contention/internal/caltrust"
+	"contention/internal/cluster"
+	"contention/internal/core"
+	"contention/internal/obs"
+	"contention/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8200", "listen address (host:port; :0 picks a free port)")
+	replicas := flag.Int("replicas", 4, "supervised replica count")
+	execBin := flag.String("exec", "", "spawn replicas as child processes of this contentiond binary (in-process replicas when empty)")
+	calPath := flag.String("cal", "", "calibration artifact served by every in-process replica; built-in synthetic tables when empty")
+	window := flag.Duration("window", serve.DefaultWindow, "per-replica micro-batch window")
+	hedge := flag.Duration("hedge", 0, "hedged-request delay (0 disables hedging)")
+	spill := flag.Int("spill", cluster.DefaultSpillInFlight, "per-replica in-flight high-water before spilling past the ring primary")
+	maxTries := flag.Int("max-tries", cluster.DefaultMaxTries, "attempt bound per request (first try + failovers)")
+	retryBudget := flag.Float64("retry-budget", cluster.DefaultRetryBudget, "cluster-wide retry allowance as a fraction of request volume")
+	probe := flag.Duration("probe", cluster.DefaultProbeInterval, "replica health-probe interval")
+	timeout := flag.Duration("timeout", serve.DefaultTimeout, "end-to-end request deadline")
+	metrics := flag.Bool("metrics", false, "record telemetry and expose GET /metrics; implied by -metrics-addr and -run-report")
+	metricsAddr := flag.String("metrics-addr", "", "also serve Prometheus text on http://ADDR/metrics and expvar on /debug/vars")
+	runReport := flag.String("run-report", "", "write a JSON run manifest to this file at exit (plus a Prometheus snapshot beside it)")
+	flag.Parse()
+	defer exitOnPanic()
+	start := time.Now()
+
+	if *metricsAddr != "" || *runReport != "" {
+		*metrics = true
+	}
+	if *metrics {
+		obs.SetEnabled(true)
+	}
+	if *metricsAddr != "" {
+		a, err := obs.ListenAndServe(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metrics-addr:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", a)
+	}
+
+	var factory cluster.Factory
+	backend := "in-process"
+	if *execBin != "" {
+		backend = *execBin
+		args := []string{"-window", window.String()}
+		if *calPath != "" {
+			args = append(args, "-cal", *calPath)
+		}
+		factory = cluster.ExecFactory(*execBin, args...)
+	} else {
+		var cal *core.Calibration
+		if *calPath != "" {
+			loaded, _, err := caltrust.ReadFile(*calPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cal:", err)
+				os.Exit(1)
+			}
+			cal = &loaded
+		}
+		factory = cluster.InProcessFactory(cluster.InProcConfig{Cal: cal, Window: *window})
+	}
+
+	c, err := cluster.New(cluster.Config{
+		Replicas:      *replicas,
+		Factory:       factory,
+		HedgeDelay:    *hedge,
+		SpillInFlight: *spill,
+		MaxTries:      *maxTries,
+		RetryBudget:   *retryBudget,
+		ProbeInterval: *probe,
+		Timeout:       *timeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := c.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", c.Handler())
+	if *metrics {
+		mux.Handle("GET /metrics", obs.Default().Handler())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "listen:", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	fmt.Fprintf(os.Stderr, "contentionlb on http://%s (%d replicas, backend %s, window %v, hedge %v)\n",
+		ln.Addr(), *replicas, backend, *window, *hedge)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "%v: draining fleet\n", sig)
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+	}
+
+	// Drain order: the cluster flips /readyz and refuses new predicts
+	// first, in-flight routed requests finish, replicas close; then the
+	// front listener shuts down.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := c.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "drain:", err)
+	}
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "shutdown:", err)
+	}
+
+	if *runReport != "" {
+		m := obs.NewManifest("contentionlb")
+		m.Config = map[string]string{
+			"addr":         *addr,
+			"replicas":     strconv.Itoa(*replicas),
+			"backend":      backend,
+			"window":       window.String(),
+			"hedge":        hedge.String(),
+			"spill":        strconv.Itoa(*spill),
+			"max_tries":    strconv.Itoa(*maxTries),
+			"retry_budget": fmt.Sprintf("%g", *retryBudget),
+			"timeout":      timeout.String(),
+		}
+		m.StartedAt = start.UTC().Format(time.RFC3339)
+		m.WallSeconds = time.Since(start).Seconds()
+		m.Spans = obs.DefaultTracer().Spans()
+		m.FillFromSnapshot(obs.Default().Snapshot())
+		if err := m.Write(*runReport); err != nil {
+			fmt.Fprintln(os.Stderr, "run-report:", err)
+			os.Exit(1)
+		}
+		prom := strings.TrimSuffix(*runReport, ".json") + ".prom"
+		if err := os.WriteFile(prom, []byte(obs.Default().PrometheusText()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "run-report:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "run manifest: %s (metrics snapshot: %s)\n", *runReport, prom)
+	}
+}
+
+// exitOnPanic turns a stray panic from the internal packages into a
+// clean error exit instead of a crash dump.
+func exitOnPanic() {
+	if r := recover(); r != nil {
+		fmt.Fprintln(os.Stderr, "fatal:", r)
+		os.Exit(1)
+	}
+}

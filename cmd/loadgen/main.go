@@ -14,16 +14,20 @@
 //
 // With no -addr, loadgen self-serves: it starts an in-process server on
 // a loopback port (built-in synthetic calibration) and drives that, so
-// a smoke run needs no separately started daemon.
+// a smoke run needs no separately started daemon. With -cluster N it
+// self-serves a supervised N-replica fleet behind the affinity router
+// instead, measuring the load balancer path end to end.
 //
 // Usage:
 //
 //	loadgen -duration 5s -conc 8                  # closed loop, self-served
 //	loadgen -mode open -rate 2000 -duration 10s   # open loop at 2 kreq/s
+//	loadgen -cluster 4 -o BENCH_cluster.json      # 4-replica fleet behind the router
 //	loadgen -addr 127.0.0.1:8123 -o BENCH_serve.json -label pr5
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,6 +43,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"contention/internal/cluster"
 	"contention/internal/core"
 	"contention/internal/runner"
 	"contention/internal/serve"
@@ -72,6 +77,7 @@ func main() {
 	label := flag.String("label", "loadgen", "snapshot label recorded in the JSON")
 	out := flag.String("o", "", "write benchjson snapshot to this file (default stdout)")
 	window := flag.Duration("window", serve.DefaultWindow, "micro-batch window for the self-served server")
+	clusterN := flag.Int("cluster", 0, "self-serve a supervised cluster of N in-process replicas behind the affinity router (instead of one server); ignored with -addr")
 	flag.Parse()
 
 	if *mode != "closed" && *mode != "open" {
@@ -85,14 +91,28 @@ func main() {
 
 	target := *addr
 	if target == "" {
-		stop, hostPort, err := selfServe(*window)
+		var (
+			stop     func()
+			hostPort string
+			err      error
+		)
+		if *clusterN > 0 {
+			stop, hostPort, err = selfServeCluster(*clusterN, *window)
+		} else {
+			stop, hostPort, err = selfServe(*window)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "self-serve:", err)
 			os.Exit(1)
 		}
 		defer stop()
 		target = hostPort
-		fmt.Fprintf(os.Stderr, "self-serving on %s (synthetic calibration, window %v)\n", target, *window)
+		if *clusterN > 0 {
+			fmt.Fprintf(os.Stderr, "self-serving %d-replica cluster on %s (synthetic calibration, window %v)\n",
+				*clusterN, target, *window)
+		} else {
+			fmt.Fprintf(os.Stderr, "self-serving on %s (synthetic calibration, window %v)\n", target, *window)
+		}
 	}
 	url := "http://" + target + "/v1/predict"
 	client := &http.Client{Transport: &http.Transport{
@@ -117,6 +137,9 @@ func main() {
 	name := fmt.Sprintf("Loadgen/%s-conc%d", *mode, *conc)
 	if *mode == "open" {
 		name = fmt.Sprintf("Loadgen/open-rate%g", *rate)
+	}
+	if *addr == "" && *clusterN > 0 {
+		name += fmt.Sprintf("-cluster%d", *clusterN)
 	}
 	snap := snapshot{
 		Label:  *label,
@@ -179,6 +202,38 @@ func selfServe(window time.Duration) (stop func(), hostPort string, err error) {
 	hs := &http.Server{Handler: srv.Handler()}
 	go hs.Serve(ln)
 	return func() { hs.Close(); srv.Close() }, ln.Addr().String(), nil
+}
+
+// selfServeCluster starts a supervised fleet of n in-process replicas
+// behind the affinity router on a loopback port. Affinity routing keeps
+// equal contender mixes on one replica, so batched% should hold up
+// against the single-replica number instead of diluting by 1/n.
+func selfServeCluster(n int, window time.Duration) (stop func(), hostPort string, err error) {
+	c, err := cluster.New(cluster.Config{
+		Replicas: n,
+		Factory:  cluster.InProcessFactory(cluster.InProcConfig{Window: window}),
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	if err := c.Start(); err != nil {
+		return nil, "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = c.Shutdown(ctx)
+		return nil, "", err
+	}
+	hs := &http.Server{Handler: c.Handler()}
+	go hs.Serve(ln)
+	return func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = c.Shutdown(ctx)
+	}, ln.Addr().String(), nil
 }
 
 // corpus builds n request bodies over a small pool of contender mixes,

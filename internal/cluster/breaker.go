@@ -1,0 +1,249 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"contention/internal/obs"
+)
+
+// BreakerState is the circuit state of one replica's breaker.
+type BreakerState int32
+
+const (
+	// Closed: traffic flows; outcomes feed the rolling error rate.
+	Closed BreakerState = iota
+	// Open: the replica failed too often; requests are refused locally
+	// until the cooldown lapses.
+	Open
+	// HalfOpen: the cooldown lapsed; a bounded number of probe requests
+	// are let through to test recovery.
+	HalfOpen
+)
+
+// String names the state for logs and metrics labels.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig parameterizes a Breaker. The zero value selects the
+// defaults noted per field.
+type BreakerConfig struct {
+	// Window is the rolling period the error rate is computed over
+	// (default 5s), split into Buckets buckets (default 10).
+	Window  time.Duration
+	Buckets int
+	// MinVolume is the minimum number of outcomes inside the window
+	// before the breaker may trip (default 10) — a single failed request
+	// against an idle replica is noise, not an outage.
+	MinVolume int
+	// TripRate is the failure fraction at which Closed trips to Open
+	// (default 0.5).
+	TripRate float64
+	// Cooldown is how long Open refuses traffic before allowing
+	// half-open probes (default 1s).
+	Cooldown time.Duration
+	// HalfOpenProbes is both the concurrent probe allowance in HalfOpen
+	// and the consecutive successes required to close (default 2).
+	HalfOpenProbes int
+	// Now overrides the clock (tests); nil selects time.Now.
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 5 * time.Second
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 10
+	}
+	if c.MinVolume <= 0 {
+		c.MinVolume = 10
+	}
+	if c.TripRate <= 0 || c.TripRate > 1 {
+		c.TripRate = 0.5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 2
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+var mBreakerTrans = obs.NewCounterVec(obs.MetricClusterBreakerTrans,
+	"circuit-breaker state transitions, by destination state", "to")
+
+// Breaker is a rolling error-rate circuit breaker: Closed → Open when
+// the windowed failure rate crosses TripRate with enough volume, Open →
+// HalfOpen after the cooldown, HalfOpen → Closed after consecutive
+// successful probes (or straight back to Open on a failed one).
+// Goroutine-safe.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu      sync.Mutex
+	state   BreakerState
+	ok      []int64
+	fail    []int64
+	epoch   int64 // bucket index of the current rotation
+	cur     int   // current bucket slot
+	opened  time.Time
+	probing int // outstanding half-open probes
+	probeOK int // consecutive half-open successes
+}
+
+// NewBreaker builds a breaker in the Closed state.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{
+		cfg:  cfg,
+		ok:   make([]int64, cfg.Buckets),
+		fail: make([]int64, cfg.Buckets),
+	}
+}
+
+func (b *Breaker) bucketDur() time.Duration {
+	return b.cfg.Window / time.Duration(b.cfg.Buckets)
+}
+
+// rotateLocked advances the bucket ring to now, zeroing buckets that
+// aged out of the window.
+func (b *Breaker) rotateLocked(now time.Time) {
+	e := now.UnixNano() / int64(b.bucketDur())
+	if b.epoch == 0 {
+		b.epoch = e
+		return
+	}
+	steps := e - b.epoch
+	if steps <= 0 {
+		return
+	}
+	if steps > int64(b.cfg.Buckets) {
+		steps = int64(b.cfg.Buckets)
+	}
+	for i := int64(0); i < steps; i++ {
+		b.cur = (b.cur + 1) % b.cfg.Buckets
+		b.ok[b.cur], b.fail[b.cur] = 0, 0
+	}
+	b.epoch = e
+}
+
+func (b *Breaker) toLocked(s BreakerState) {
+	if b.state == s {
+		return
+	}
+	b.state = s
+	mBreakerTrans.With(s.String()).Inc()
+}
+
+// Allow reports whether a request may be sent to the replica. In
+// HalfOpen it also reserves one probe slot, so callers must pair every
+// true return with exactly one Record.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.cfg.Now()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if now.Sub(b.opened) < b.cfg.Cooldown {
+			return false
+		}
+		b.toLocked(HalfOpen)
+		b.probing, b.probeOK = 0, 0
+		fallthrough
+	default: // HalfOpen
+		if b.probing >= b.cfg.HalfOpenProbes {
+			return false
+		}
+		b.probing++
+		return true
+	}
+}
+
+// Record feeds one request outcome back.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.cfg.Now()
+	b.rotateLocked(now)
+	if ok {
+		b.ok[b.cur]++
+	} else {
+		b.fail[b.cur]++
+	}
+	switch b.state {
+	case HalfOpen:
+		if b.probing > 0 {
+			b.probing--
+		}
+		if !ok {
+			b.toLocked(Open)
+			b.opened = now
+			return
+		}
+		b.probeOK++
+		if b.probeOK >= b.cfg.HalfOpenProbes {
+			b.resetLocked()
+			b.toLocked(Closed)
+		}
+	case Closed:
+		vol, rate := b.statsLocked()
+		if vol >= int64(b.cfg.MinVolume) && rate >= b.cfg.TripRate {
+			b.toLocked(Open)
+			b.opened = now
+		}
+	}
+}
+
+// resetLocked clears the rolling window (used when closing after a
+// successful half-open probe run, so stale failures cannot re-trip).
+func (b *Breaker) resetLocked() {
+	for i := range b.ok {
+		b.ok[i], b.fail[i] = 0, 0
+	}
+}
+
+func (b *Breaker) statsLocked() (volume int64, failRate float64) {
+	var okN, failN int64
+	for i := range b.ok {
+		okN += b.ok[i]
+		failN += b.fail[i]
+	}
+	volume = okN + failN
+	if volume > 0 {
+		failRate = float64(failN) / float64(volume)
+	}
+	return volume, failRate
+}
+
+// State reports the current circuit state without side effects (an
+// Open breaker whose cooldown has lapsed still reads Open until the
+// next Allow performs the transition).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Stats reports the windowed outcome volume and failure rate.
+func (b *Breaker) Stats() (volume int64, failRate float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.rotateLocked(b.cfg.Now())
+	return b.statsLocked()
+}

@@ -1,0 +1,986 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"contention/internal/rm"
+	"contention/internal/serve"
+)
+
+// ErrNoReplica is returned (as a 503 with Retry-After) when no healthy
+// replica can take a request.
+var ErrNoReplica = errors.New("cluster: no replica available")
+
+// Defaults applied by New for zero Config fields.
+const (
+	DefaultRestartBase     = 100 * time.Millisecond
+	DefaultRestartMax      = 5 * time.Second
+	DefaultMinUptime       = 2 * time.Second
+	DefaultCrashLoopBudget = 6
+	DefaultCandidates      = 3
+	DefaultSpillInFlight   = 64
+	DefaultMaxTries        = 3
+	DefaultRetryBudget     = 0.2
+	DefaultPerTryTimeout   = 500 * time.Millisecond
+	DefaultProbeInterval   = 250 * time.Millisecond
+)
+
+// retryTokenCap bounds banked retry credit (milli-tokens): bursts of
+// failures may spend at most this many stored retries before new
+// traffic must earn more.
+const retryTokenCap = 20_000
+
+// Config parameterizes a Cluster.
+type Config struct {
+	// Replicas is the supervised fleet size. Required.
+	Replicas int
+	// Factory builds each replica incarnation. Required.
+	Factory Factory
+
+	// Supervision: a crashed replica is respawned after
+	// RestartBase·2^strikes (capped at RestartMax) plus seeded jitter,
+	// where strikes counts consecutive lives shorter than MinUptime. A
+	// member that accumulates CrashLoopBudget strikes is abandoned — its
+	// keys stay remapped to the survivors instead of flapping forever.
+	RestartBase     time.Duration
+	RestartMax      time.Duration
+	MinUptime       time.Duration
+	CrashLoopBudget int
+	// Seed fixes the restart-jitter RNG.
+	Seed int64
+
+	// Routing.
+	Vnodes     int // consistent-hash virtual nodes per replica
+	Candidates int // ring candidates considered per request
+	// SpillInFlight is the per-replica in-flight high-water: a primary
+	// at or above it spills to the next ring node.
+	SpillInFlight int
+	// MaxTries bounds attempts per request (first try + failovers).
+	MaxTries int
+	// RetryBudget is the cluster-wide retry allowance as a fraction of
+	// routed requests (token bucket): retries beyond it are shed so a
+	// sick fleet is not finished off by its own retry storm.
+	RetryBudget float64
+	// HedgeDelay, when positive, launches a hedged second request to the
+	// next candidate if the primary has not answered within it (p99
+	// protection); first answer wins.
+	HedgeDelay time.Duration
+	// PerTryTimeout bounds each attempt; Timeout bounds the request.
+	PerTryTimeout time.Duration
+	Timeout       time.Duration
+	// Front-door admission bounds (same semantics as serve.Config).
+	MaxInFlight, MaxQueue int
+	// Breaker parameterizes the per-replica circuit breakers.
+	Breaker BreakerConfig
+	// ProbeInterval is the health-probe period.
+	ProbeInterval time.Duration
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.RestartBase <= 0 {
+		cfg.RestartBase = DefaultRestartBase
+	}
+	if cfg.RestartMax <= 0 {
+		cfg.RestartMax = DefaultRestartMax
+	}
+	if cfg.MinUptime <= 0 {
+		cfg.MinUptime = DefaultMinUptime
+	}
+	if cfg.CrashLoopBudget <= 0 {
+		cfg.CrashLoopBudget = DefaultCrashLoopBudget
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Vnodes <= 0 {
+		cfg.Vnodes = DefaultVnodes
+	}
+	if cfg.Candidates <= 0 {
+		cfg.Candidates = DefaultCandidates
+	}
+	if cfg.SpillInFlight <= 0 {
+		cfg.SpillInFlight = DefaultSpillInFlight
+	}
+	if cfg.MaxTries <= 0 {
+		cfg.MaxTries = DefaultMaxTries
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = DefaultRetryBudget
+	}
+	if cfg.PerTryTimeout <= 0 {
+		cfg.PerTryTimeout = DefaultPerTryTimeout
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = serve.DefaultTimeout
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = serve.DefaultMaxInFlight
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = serve.DefaultMaxQueue
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
+	return cfg
+}
+
+// memberState is one member's supervision state.
+type memberState int32
+
+const (
+	stateUp memberState = iota
+	stateDown
+	stateFailed
+	stateDraining
+)
+
+func (s memberState) String() string {
+	switch s {
+	case stateUp:
+		return "up"
+	case stateDown:
+		return "down"
+	case stateFailed:
+		return "failed"
+	case stateDraining:
+		return "draining"
+	}
+	return "unknown"
+}
+
+// member is one supervised replica slot: the slot (id, breaker,
+// supervision history) is permanent, the Replica incarnation behind it
+// comes and goes.
+type member struct {
+	id       int
+	breaker  *Breaker
+	inflight atomic.Int64
+	degraded atomic.Bool // last health probe saw a non-Fresh calibration
+
+	mu      sync.Mutex
+	state   memberState
+	rep     Replica
+	addr    string
+	gen     int
+	strikes int
+	upSince time.Time
+	removed bool // deliberately drained; the babysitter must not restart it
+}
+
+func (m *member) up() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state == stateUp
+}
+
+func (m *member) currentAddr() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.state != stateUp {
+		return ""
+	}
+	return m.addr
+}
+
+// Cluster is the supervised fleet plus its affinity router. Build with
+// New, call Start, serve Handler; it is goroutine-safe.
+type Cluster struct {
+	cfg    Config
+	adm    *rm.Admission
+	client *http.Client
+
+	members []*member
+	ringMu  sync.Mutex // serializes ring read-modify-write
+	ring    atomic.Pointer[Ring]
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // restart jitter
+
+	retryTokens atomic.Int64 // milli-tokens
+
+	draining atomic.Bool
+	started  atomic.Bool
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup // babysitters + prober
+	bg       sync.WaitGroup // background hedge attempts
+}
+
+// New builds an unstarted cluster, applying defaults for zero fields.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Replicas < 1 {
+		return nil, errors.New("cluster: Config.Replicas must be at least 1")
+	}
+	if cfg.Factory == nil {
+		return nil, errors.New("cluster: Config.Factory is required")
+	}
+	cfg = cfg.withDefaults()
+	c := &Cluster{
+		cfg: cfg,
+		adm: rm.NewAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     30 * time.Second,
+		}},
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		stop: make(chan struct{}),
+	}
+	c.retryTokens.Store(5_000) // a little starting credit so early faults can fail over
+	c.members = make([]*member, cfg.Replicas)
+	for i := range c.members {
+		c.members[i] = &member{id: i, breaker: NewBreaker(cfg.Breaker)}
+	}
+	c.ring.Store(NewRing(cfg.Vnodes))
+	return c, nil
+}
+
+// Config returns the effective (default-filled) configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Admission exposes the front-door admission controller (stats).
+func (c *Cluster) Admission() *rm.Admission { return c.adm }
+
+// Start spawns every replica and begins supervision. An initial spawn
+// failure tears down what started and errors out — a cluster that
+// cannot field its fleet at boot is a deployment problem, not one to
+// heal around.
+func (c *Cluster) Start() error {
+	if !c.started.CompareAndSwap(false, true) {
+		return errors.New("cluster: already started")
+	}
+	ring := NewRing(c.cfg.Vnodes)
+	for i, m := range c.members {
+		rep, err := c.cfg.Factory(i, 0)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				c.members[j].mu.Lock()
+				r := c.members[j].rep
+				c.members[j].mu.Unlock()
+				if r != nil {
+					r.Kill()
+				}
+			}
+			return fmt.Errorf("cluster: spawn replica %d: %w", i, err)
+		}
+		m.mu.Lock()
+		m.state = stateUp
+		m.rep = rep
+		m.addr = rep.Addr()
+		m.upSince = time.Now()
+		m.mu.Unlock()
+		ring = ring.With(i)
+	}
+	c.ring.Store(ring)
+	mReplicasUp.Set(float64(ring.Size()))
+	for _, m := range c.members {
+		c.wg.Add(1)
+		go c.babysit(m)
+	}
+	c.wg.Add(1)
+	go c.probeLoop()
+	return nil
+}
+
+// --- supervision -------------------------------------------------------------
+
+// babysit watches one member: when its replica dies it leaves the ring
+// immediately, and rejoins after a successful seeded-backoff respawn.
+func (c *Cluster) babysit(m *member) {
+	defer c.wg.Done()
+	for {
+		m.mu.Lock()
+		rep := m.rep
+		m.mu.Unlock()
+		if rep == nil {
+			return
+		}
+		select {
+		case <-rep.Done():
+		case <-c.stop:
+			return
+		}
+		select {
+		case <-c.stop:
+			return
+		default:
+		}
+
+		m.mu.Lock()
+		if m.removed || m.state != stateUp {
+			m.mu.Unlock()
+			return
+		}
+		uptime := time.Since(m.upSince)
+		m.state = stateDown
+		m.rep = nil
+		if uptime < c.cfg.MinUptime {
+			m.strikes++
+		} else {
+			m.strikes = 0
+		}
+		strikes := m.strikes
+		m.mu.Unlock()
+		c.ringRemove(m.id)
+
+		for {
+			if strikes >= c.cfg.CrashLoopBudget {
+				m.mu.Lock()
+				m.state = stateFailed
+				m.mu.Unlock()
+				mAbandoned.Inc()
+				return
+			}
+			select {
+			case <-time.After(c.backoff(strikes)):
+			case <-c.stop:
+				return
+			}
+			m.mu.Lock()
+			gen := m.gen + 1
+			m.mu.Unlock()
+			rep2, err := c.cfg.Factory(m.id, gen)
+			if err != nil {
+				strikes++
+				m.mu.Lock()
+				m.strikes = strikes
+				m.mu.Unlock()
+				continue
+			}
+			m.mu.Lock()
+			m.state = stateUp
+			m.rep = rep2
+			m.addr = rep2.Addr()
+			m.gen = gen
+			m.upSince = time.Now()
+			m.mu.Unlock()
+			mRestarts.Inc()
+			c.ringAdd(m.id)
+			break
+		}
+	}
+}
+
+// backoff is the respawn delay for a given strike count: exponential
+// from RestartBase, capped at RestartMax, plus up to 50% seeded jitter
+// so a mass failure does not respawn the whole fleet in lockstep.
+func (c *Cluster) backoff(strikes int) time.Duration {
+	if strikes > 20 {
+		strikes = 20
+	}
+	d := c.cfg.RestartBase << strikes
+	if d > c.cfg.RestartMax || d <= 0 {
+		d = c.cfg.RestartMax
+	}
+	c.rngMu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(d)/2 + 1))
+	c.rngMu.Unlock()
+	return d + j
+}
+
+func (c *Cluster) ringAdd(id int) {
+	c.ringMu.Lock()
+	r := c.ring.Load().With(id)
+	c.ring.Store(r)
+	c.ringMu.Unlock()
+	mReplicasUp.Set(float64(r.Size()))
+}
+
+func (c *Cluster) ringRemove(id int) {
+	c.ringMu.Lock()
+	r := c.ring.Load().Without(id)
+	c.ring.Store(r)
+	c.ringMu.Unlock()
+	mReplicasUp.Set(float64(r.Size()))
+}
+
+// UpCount reports how many replicas are in the routing ring.
+func (c *Cluster) UpCount() int { return c.ring.Load().Size() }
+
+// Replica returns member id's current incarnation (nil while down) —
+// the chaos harness reaches replicas through this.
+func (c *Cluster) Replica(id int) Replica {
+	if id < 0 || id >= len(c.members) {
+		return nil
+	}
+	m := c.members[id]
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rep
+}
+
+// probeLoop periodically probes each up replica's /healthz: outcomes
+// feed the breaker (an Open breaker's cooldown lapse makes the probe
+// the half-open test traffic, so recovery does not wait for a real
+// request to risk itself), and the reported trust state drives the
+// degraded-replica routing preference.
+func (c *Cluster) probeLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+		for _, m := range c.members {
+			addr := m.currentAddr()
+			if addr == "" {
+				continue
+			}
+			if !m.breaker.Allow() {
+				continue
+			}
+			ok, degraded := c.probe(addr)
+			m.breaker.Record(ok)
+			if ok {
+				m.degraded.Store(degraded)
+			}
+		}
+	}
+}
+
+func (c *Cluster) probe(addr string) (ok, degraded bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/healthz", nil)
+	if err != nil {
+		return false, false
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return false, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return false, false
+	}
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&h); err != nil {
+		return false, false
+	}
+	return true, h.Status != "ok"
+}
+
+// --- routing -----------------------------------------------------------------
+
+// tryResult is one attempt's outcome: a transport error, or a status +
+// body to pass through.
+type tryResult struct {
+	status int
+	body   []byte
+	err    error
+}
+
+// retryable reports whether another replica might do better: transport
+// errors, 5xx, and 429 (that replica is saturated; the ring successor
+// may not be). 4xx client faults and 504 (the deadline is spent either
+// way) are final.
+func (r tryResult) retryable() bool {
+	return r.err != nil || r.status >= 500 || r.status == http.StatusTooManyRequests
+}
+
+// route sends body to the replicas owning key, in ring-affinity order
+// with load-aware spill, bounded retries, and optional hedging.
+func (c *Cluster) route(ctx context.Context, key string, body []byte) tryResult {
+	ids := c.ring.Load().Sequence(key, c.cfg.Candidates)
+	if len(ids) == 0 {
+		return tryResult{err: ErrNoReplica}
+	}
+	cands := make([]*member, len(ids))
+	for i, id := range ids {
+		cands[i] = c.members[id]
+	}
+
+	// Load-aware spill: the ring primary leads unless its breaker is
+	// open, it is at its in-flight high-water, or it is serving degraded
+	// answers while a later candidate is healthy. Ring order is kept
+	// after the leader, so spilled keys still concentrate per replica.
+	lead := 0
+	for i, m := range cands {
+		if m.breaker.State() != Open &&
+			m.inflight.Load() < int64(c.cfg.SpillInFlight) &&
+			!m.degraded.Load() {
+			lead = i
+			break
+		}
+	}
+	if lead > 0 {
+		mSpills.Inc()
+	}
+
+	last := tryResult{err: ErrNoReplica}
+	tries := 0
+	for k := 0; k < len(cands) && tries < c.cfg.MaxTries; k++ {
+		m := cands[(lead+k)%len(cands)]
+		if !m.up() {
+			continue
+		}
+		if tries > 0 && !c.takeRetryToken() {
+			break
+		}
+		if !m.breaker.Allow() {
+			if tries > 0 {
+				c.refundRetryToken()
+			}
+			continue
+		}
+		if tries > 0 {
+			mRetries.Inc()
+		}
+		tries++
+		var res tryResult
+		if tries == 1 && c.cfg.HedgeDelay > 0 {
+			res = c.hedged(ctx, m, cands, body)
+		} else {
+			res = c.attempt(ctx, m, body)
+		}
+		last = res
+		if !res.retryable() {
+			return res
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return last
+}
+
+// attempt posts body to one member with the per-try timeout, recording
+// the outcome in its breaker. Every attempt call must be preceded by
+// exactly one Allow() on the member (half-open probe accounting).
+func (c *Cluster) attempt(ctx context.Context, m *member, body []byte) tryResult {
+	addr := m.currentAddr()
+	if addr == "" {
+		m.breaker.Record(false)
+		return tryResult{err: ErrNoReplica}
+	}
+	m.inflight.Add(1)
+	defer m.inflight.Add(-1)
+	tctx, cancel := context.WithTimeout(ctx, c.cfg.PerTryTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(tctx, http.MethodPost, "http://"+addr+"/v1/predict", bytes.NewReader(body))
+	if err != nil {
+		m.breaker.Record(false)
+		return tryResult{err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		m.breaker.Record(false)
+		return tryResult{err: err}
+	}
+	b, rerr := io.ReadAll(io.LimitReader(resp.Body, serve.MaxBodyBytes+1))
+	resp.Body.Close()
+	if rerr != nil {
+		m.breaker.Record(false)
+		return tryResult{err: rerr}
+	}
+	res := tryResult{status: resp.StatusCode, body: b}
+	m.breaker.Record(!res.retryable())
+	return res
+}
+
+// hedged races the primary against a delayed second request to the next
+// healthy candidate: if the primary has not answered within HedgeDelay
+// (a stall, a long batch window, a GC pause), the hedge usually wins
+// and the request rides out the hiccup at the cost of one duplicate.
+func (c *Cluster) hedged(ctx context.Context, primary *member, cands []*member, body []byte) tryResult {
+	var backup *member
+	for _, m := range cands {
+		if m != primary && m.up() && m.breaker.State() != Open {
+			backup = m
+			break
+		}
+	}
+	if backup == nil {
+		return c.attempt(ctx, primary, body)
+	}
+	ch := make(chan tryResult, 2)
+	c.bg.Add(1)
+	go func() {
+		defer c.bg.Done()
+		ch <- c.attempt(ctx, primary, body)
+	}()
+	t := time.NewTimer(c.cfg.HedgeDelay)
+	defer t.Stop()
+	launched := 1
+	select {
+	case res := <-ch:
+		return res
+	case <-t.C:
+		if backup.breaker.Allow() {
+			mHedges.Inc()
+			launched = 2
+			c.bg.Add(1)
+			go func() {
+				defer c.bg.Done()
+				ch <- c.attempt(ctx, backup, body)
+			}()
+		}
+	}
+	res := <-ch
+	if !res.retryable() || launched == 1 {
+		return res
+	}
+	res2 := <-ch
+	if !res2.retryable() {
+		return res2
+	}
+	return res
+}
+
+// grantRetryCredit adds one request's worth of retry budget.
+func (c *Cluster) grantRetryCredit() {
+	add := int64(c.cfg.RetryBudget * 1000)
+	if add <= 0 {
+		return
+	}
+	if v := c.retryTokens.Add(add); v > retryTokenCap {
+		c.retryTokens.Store(retryTokenCap)
+	}
+}
+
+func (c *Cluster) takeRetryToken() bool {
+	for {
+		v := c.retryTokens.Load()
+		if v < 1000 {
+			return false
+		}
+		if c.retryTokens.CompareAndSwap(v, v-1000) {
+			return true
+		}
+	}
+}
+
+func (c *Cluster) refundRetryToken() { c.retryTokens.Add(1000) }
+
+// --- draining ----------------------------------------------------------------
+
+// DrainMember removes member id from the fleet gracefully: the ring
+// stops assigning its keys immediately (they remap to ring successors;
+// everything else stays put), requests in flight to it finish within
+// ctx, then the replica shuts down. The member is not restarted.
+func (c *Cluster) DrainMember(ctx context.Context, id int) error {
+	if id < 0 || id >= len(c.members) {
+		return fmt.Errorf("cluster: no member %d", id)
+	}
+	m := c.members[id]
+	m.mu.Lock()
+	if m.state != stateUp {
+		st := m.state
+		m.mu.Unlock()
+		return fmt.Errorf("cluster: member %d is %s, not up", id, st)
+	}
+	m.state = stateDraining
+	m.removed = true
+	rep := m.rep
+	m.mu.Unlock()
+	c.ringRemove(id)
+
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for m.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			rep.Kill()
+			return fmt.Errorf("cluster: drain member %d: %w", id, ctx.Err())
+		case <-tick.C:
+		}
+	}
+	return rep.Close(ctx)
+}
+
+// Shutdown drains the whole cluster: new requests are refused with 503
+// + Retry-After, in-flight requests finish within ctx, then every
+// replica is closed gracefully and supervision stops. Idempotent.
+func (c *Cluster) Shutdown(ctx context.Context) error {
+	c.draining.Store(true)
+	var err error
+	c.stopOnce.Do(func() {
+		err = c.adm.Drain(ctx)
+		close(c.stop)
+		c.ringMu.Lock()
+		c.ring.Store(NewRing(c.cfg.Vnodes))
+		c.ringMu.Unlock()
+		mReplicasUp.Set(0)
+
+		// Hedge losers may outlive their front-door request; wait them
+		// out (bounded by PerTryTimeout) before closing replicas.
+		bgDone := make(chan struct{})
+		go func() {
+			c.bg.Wait()
+			close(bgDone)
+		}()
+		select {
+		case <-bgDone:
+		case <-ctx.Done():
+		}
+
+		for _, m := range c.members {
+			m.mu.Lock()
+			m.removed = true
+			rep := m.rep
+			m.mu.Unlock()
+			if rep != nil {
+				_ = rep.Close(ctx)
+			}
+		}
+		c.wg.Wait()
+		c.client.CloseIdleConnections()
+	})
+	return err
+}
+
+// --- status ------------------------------------------------------------------
+
+// MemberStatus is one member's externally visible state.
+type MemberStatus struct {
+	ID       int    `json:"id"`
+	State    string `json:"state"`
+	Addr     string `json:"addr,omitempty"`
+	Restarts int    `json:"restarts"`
+	Strikes  int    `json:"strikes,omitempty"`
+	Breaker  string `json:"breaker"`
+	InFlight int64  `json:"in_flight"`
+	Degraded bool   `json:"degraded,omitempty"`
+}
+
+// Members reports every member's status.
+func (c *Cluster) Members() []MemberStatus {
+	out := make([]MemberStatus, len(c.members))
+	for i, m := range c.members {
+		m.mu.Lock()
+		out[i] = MemberStatus{
+			ID:       m.id,
+			State:    m.state.String(),
+			Addr:     m.addr,
+			Restarts: m.gen,
+			Strikes:  m.strikes,
+			Breaker:  m.breaker.State().String(),
+			InFlight: m.inflight.Load(),
+			Degraded: m.degraded.Load(),
+		}
+		if m.state != stateUp {
+			out[i].Addr = ""
+		}
+		m.mu.Unlock()
+	}
+	return out
+}
+
+// --- HTTP front end ----------------------------------------------------------
+
+// Handler returns the load-balancer mux — the same API surface as one
+// replica, so clients cannot tell a fleet from a single daemon:
+//
+//	POST /v1/predict  — routed by batch-key affinity with failover
+//	POST /v1/observe  — residual broadcast to every up replica
+//	GET  /healthz     — fleet health + per-member detail
+//	GET  /readyz      — 503 while draining or with zero replicas up
+func (c *Cluster) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/predict", c.handlePredict)
+	mux.HandleFunc("POST /v1/observe", c.handleObserve)
+	mux.HandleFunc("GET /healthz", c.handleHealth)
+	mux.HandleFunc("GET /readyz", c.handleReady)
+	return mux
+}
+
+// writeError emits the same JSON error envelope as serve, with the
+// Retry-After back-off hint on 429/503.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", serve.RetryAfterSeconds)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func (c *Cluster) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	outcome := "ok"
+	defer func() {
+		mRequests.With(outcome).Inc()
+		mRouteSeconds.Observe(time.Since(start).Seconds())
+	}()
+
+	if c.draining.Load() {
+		outcome = "draining"
+		writeError(w, http.StatusServiceUnavailable, "cluster draining")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, serve.MaxBodyBytes+1))
+	if err != nil {
+		outcome = "bad_request"
+		writeError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	req, err := serve.DecodeRequest(bytes.NewReader(body))
+	var key string
+	if err == nil {
+		key, err = req.BatchKey()
+	}
+	if err != nil {
+		outcome = "bad_request"
+		status := http.StatusBadRequest
+		var reqErr *serve.RequestError
+		if errors.As(err, &reqErr) {
+			status = reqErr.Status
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), c.cfg.Timeout)
+	defer cancel()
+	if err := c.adm.Acquire(ctx); err != nil {
+		if errors.Is(err, rm.ErrSubmitTimeout) {
+			outcome = "timeout"
+			writeError(w, http.StatusGatewayTimeout, err.Error())
+			return
+		}
+		outcome = "rejected"
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	}
+	defer c.adm.Release()
+	c.grantRetryCredit()
+
+	res := c.route(ctx, key, body)
+	if res.err != nil {
+		outcome = "unavailable"
+		writeError(w, http.StatusServiceUnavailable, fmt.Sprintf("%v: %v", ErrNoReplica, res.err))
+		return
+	}
+	if res.status != http.StatusOK {
+		outcome = fmt.Sprintf("upstream_%d", res.status)
+	}
+	if res.status == http.StatusTooManyRequests || res.status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", serve.RetryAfterSeconds)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+// observeResult is the /v1/observe broadcast summary.
+type observeResult struct {
+	Forwarded int `json:"forwarded"`
+	Errors    int `json:"errors"`
+}
+
+// handleObserve broadcasts one residual observation to every up
+// replica: each replica runs its own drift detector, so all of them
+// need the evidence regardless of which one served the prediction.
+func (c *Cluster) handleObserve(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, serve.MaxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	var res observeResult
+	for _, m := range c.members {
+		addr := m.currentAddr()
+		if addr == "" {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), c.cfg.PerTryTimeout)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+addr+"/v1/observe", bytes.NewReader(body))
+		if err != nil {
+			cancel()
+			res.Errors++
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.client.Do(req)
+		cancel()
+		if err != nil {
+			res.Errors++
+			continue
+		}
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			res.Forwarded++
+		} else {
+			res.Errors++
+		}
+	}
+	status := http.StatusOK
+	if res.Forwarded == 0 {
+		status = http.StatusServiceUnavailable
+	}
+	if status != http.StatusOK {
+		w.Header().Set("Retry-After", serve.RetryAfterSeconds)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(res)
+}
+
+// clusterHealth is the /healthz body.
+type clusterHealth struct {
+	Status     string         `json:"status"` // ok | degraded | down
+	ReplicasUp int            `json:"replicas_up"`
+	Draining   bool           `json:"draining,omitempty"`
+	Members    []MemberStatus `json:"members"`
+}
+
+func (c *Cluster) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := clusterHealth{
+		ReplicasUp: c.UpCount(),
+		Draining:   c.draining.Load(),
+		Members:    c.Members(),
+	}
+	switch {
+	case h.ReplicasUp == 0:
+		h.Status = "down"
+	case h.ReplicasUp < len(c.members):
+		h.Status = "degraded"
+	default:
+		h.Status = "ok"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(h)
+}
+
+// readyBody mirrors serve's /readyz shape.
+type readyBody struct {
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason,omitempty"`
+}
+
+func (c *Cluster) handleReady(w http.ResponseWriter, r *http.Request) {
+	reason := ""
+	switch {
+	case c.draining.Load():
+		reason = "draining"
+	case c.UpCount() == 0:
+		reason = "no replicas up"
+	}
+	if reason != "" {
+		writeError(w, http.StatusServiceUnavailable, reason)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(readyBody{Ready: true})
+}

@@ -1,0 +1,548 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeReplica is a controllable prediction backend: it answers the
+// cluster API with canned bodies and can be flipped into failure or
+// stall modes, so router and supervisor behavior is testable without
+// the full serve stack (the chaos gate covers that integration).
+type fakeReplica struct {
+	id, gen int
+	ts      *httptest.Server
+	hits    atomic.Int64 // /v1/predict requests served
+	fail    atomic.Bool  // respond 500 to predicts
+	stallMS atomic.Int64 // delay predicts by this many ms
+	done    chan struct{}
+	once    sync.Once
+}
+
+func newFakeReplica(id, gen int) *fakeReplica {
+	f := &fakeReplica{id: id, gen: gen, done: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		if d := f.stallMS.Load(); d > 0 {
+			select {
+			case <-time.After(time.Duration(d) * time.Millisecond):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		f.hits.Add(1)
+		if f.fail.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprintf(w, `{"error":"injected"}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"value":1.5,"replica":%d}`, f.id)
+	})
+	mux.HandleFunc("POST /v1/observe", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"drifted":false,"trust":"fresh"}`)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"status":"ok","trust":"fresh"}`)
+	})
+	f.ts = httptest.NewServer(mux)
+	return f
+}
+
+func (f *fakeReplica) Addr() string { return strings.TrimPrefix(f.ts.URL, "http://") }
+
+func (f *fakeReplica) Done() <-chan struct{} { return f.done }
+
+func (f *fakeReplica) Close(ctx context.Context) error {
+	f.once.Do(func() {
+		f.ts.Close()
+		close(f.done)
+	})
+	return nil
+}
+
+func (f *fakeReplica) Kill() {
+	f.once.Do(func() {
+		f.ts.CloseClientConnections()
+		f.ts.Close()
+		close(f.done)
+	})
+}
+
+// fakeFleet tracks every fakeReplica a test factory spawned.
+type fakeFleet struct {
+	mu     sync.Mutex
+	reps   []*fakeReplica // all incarnations, spawn order
+	spawns map[int]int    // per-id spawn count
+}
+
+func newFakeFleet() *fakeFleet {
+	return &fakeFleet{spawns: map[int]int{}}
+}
+
+func (fl *fakeFleet) factory(id, gen int) (Replica, error) {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	f := newFakeReplica(id, gen)
+	fl.reps = append(fl.reps, f)
+	fl.spawns[id]++
+	return f, nil
+}
+
+// current returns the latest incarnation of id.
+func (fl *fakeFleet) current(id int) *fakeReplica {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	for i := len(fl.reps) - 1; i >= 0; i-- {
+		if fl.reps[i].id == id {
+			return fl.reps[i]
+		}
+	}
+	return nil
+}
+
+func (fl *fakeFleet) closeAll() {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	for _, f := range fl.reps {
+		f.Kill()
+	}
+}
+
+// newTestCluster starts a cluster over a fake fleet with fast,
+// test-friendly supervision knobs (override via mutate).
+func newTestCluster(t *testing.T, replicas int, mutate func(*Config)) (*Cluster, *fakeFleet, *httptest.Server) {
+	t.Helper()
+	fl := newFakeFleet()
+	cfg := Config{
+		Replicas:      replicas,
+		Factory:       fl.factory,
+		RestartBase:   5 * time.Millisecond,
+		RestartMax:    50 * time.Millisecond,
+		MinUptime:     time.Millisecond,
+		Seed:          1,
+		PerTryTimeout: time.Second,
+		Timeout:       5 * time.Second,
+		ProbeInterval: 25 * time.Millisecond,
+		Breaker:       BreakerConfig{Cooldown: 50 * time.Millisecond},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	front := httptest.NewServer(c.Handler())
+	t.Cleanup(func() {
+		front.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = c.Shutdown(ctx)
+		fl.closeAll()
+	})
+	return c, fl, front
+}
+
+func predictBody(i int) string {
+	return fmt.Sprintf(`{"kind":"comp","dcomp":1,"contenders":[{"comm_fraction":0.3,"msg_words":%d}]}`, 100+i)
+}
+
+func postPredict(t *testing.T, front *httptest.Server, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := front.Client().Post(front.URL+"/v1/predict", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/predict: %v", err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp.StatusCode, out
+}
+
+func waitFor(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.After(timeout)
+	for !cond() {
+		select {
+		case <-deadline:
+			t.Fatalf("timed out waiting for %s", what)
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+func TestClusterAffinity(t *testing.T) {
+	_, fl, front := newTestCluster(t, 3, nil)
+
+	// Equal keys concentrate on one replica.
+	for i := 0; i < 20; i++ {
+		if code, out := postPredict(t, front, predictBody(0)); code != http.StatusOK {
+			t.Fatalf("predict = %d, body %v", code, out)
+		}
+	}
+	hit := 0
+	for id := 0; id < 3; id++ {
+		if fl.current(id).hits.Load() > 0 {
+			hit++
+		}
+	}
+	if hit != 1 {
+		t.Fatalf("equal-key traffic landed on %d replicas, want 1", hit)
+	}
+
+	// Distinct keys spread across the fleet.
+	for i := 0; i < 60; i++ {
+		if code, _ := postPredict(t, front, predictBody(i)); code != http.StatusOK {
+			t.Fatalf("predict %d failed", i)
+		}
+	}
+	spread := 0
+	for id := 0; id < 3; id++ {
+		if fl.current(id).hits.Load() > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Fatalf("60 distinct keys landed on %d replica(s), want ≥ 2", spread)
+	}
+}
+
+func TestClusterBadRequestPassesThroughWithoutRouting(t *testing.T) {
+	_, fl, front := newTestCluster(t, 2, nil)
+	code, out := postPredict(t, front, `{"kind":"nonsense"}`)
+	if code != http.StatusBadRequest && code != http.StatusUnprocessableEntity {
+		t.Fatalf("invalid request = %d (%v), want 400/422", code, out)
+	}
+	for id := 0; id < 2; id++ {
+		if n := fl.current(id).hits.Load(); n != 0 {
+			t.Fatalf("invalid request reached replica %d (%d hits)", id, n)
+		}
+	}
+}
+
+func TestClusterFailoverAndRejoin(t *testing.T) {
+	c, fl, front := newTestCluster(t, 3, nil)
+
+	// Find the primary for this key.
+	body := predictBody(0)
+	if code, _ := postPredict(t, front, body); code != http.StatusOK {
+		t.Fatal("warmup predict failed")
+	}
+	primary := -1
+	for id := 0; id < 3; id++ {
+		if fl.current(id).hits.Load() > 0 {
+			primary = id
+			break
+		}
+	}
+	if primary < 0 {
+		t.Fatal("no replica served the warmup request")
+	}
+
+	fl.current(primary).Kill()
+	// Service continues through failover while the primary is down.
+	for i := 0; i < 10; i++ {
+		if code, out := postPredict(t, front, body); code != http.StatusOK {
+			t.Fatalf("predict during failover = %d (%v)", code, out)
+		}
+	}
+	// The supervisor respawns the dead member and it rejoins the ring.
+	waitFor(t, "crashed replica rejoin", 5*time.Second, func() bool {
+		return c.UpCount() == 3
+	})
+	fl.mu.Lock()
+	spawns := fl.spawns[primary]
+	fl.mu.Unlock()
+	if spawns < 2 {
+		t.Fatalf("primary %d spawned %d times, want ≥ 2 (restart)", primary, spawns)
+	}
+	if code, _ := postPredict(t, front, body); code != http.StatusOK {
+		t.Fatal("predict after rejoin failed")
+	}
+}
+
+func TestClusterRetriesUpstreamFailure(t *testing.T) {
+	_, fl, front := newTestCluster(t, 3, nil)
+	body := predictBody(3)
+	if code, _ := postPredict(t, front, body); code != http.StatusOK {
+		t.Fatal("warmup predict failed")
+	}
+	primary := -1
+	for id := 0; id < 3; id++ {
+		if fl.current(id).hits.Load() > 0 {
+			primary = id
+		}
+	}
+	fl.current(primary).fail.Store(true)
+	code, out := postPredict(t, front, body)
+	if code != http.StatusOK {
+		t.Fatalf("predict with failing primary = %d (%v), want 200 via failover", code, out)
+	}
+	if got := int(out["replica"].(float64)); got == primary {
+		t.Fatalf("answer came from the failing primary %d", got)
+	}
+}
+
+func TestClusterCrashLoopBudget(t *testing.T) {
+	var allow atomic.Bool
+	allow.Store(true)
+	fl := newFakeFleet()
+	cfg := Config{
+		Replicas: 2,
+		Factory: func(id, gen int) (Replica, error) {
+			if id == 1 && !allow.Load() {
+				return nil, fmt.Errorf("injected spawn failure")
+			}
+			return fl.factory(id, gen)
+		},
+		RestartBase:     time.Millisecond,
+		RestartMax:      5 * time.Millisecond,
+		MinUptime:       10 * time.Second, // every death is a strike
+		CrashLoopBudget: 3,
+		Seed:            1,
+		PerTryTimeout:   time.Second,
+		ProbeInterval:   25 * time.Millisecond,
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	front := httptest.NewServer(c.Handler())
+	defer func() {
+		front.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = c.Shutdown(ctx)
+		fl.closeAll()
+	}()
+
+	allow.Store(false)
+	fl.current(1).Kill()
+	waitFor(t, "member 1 abandoned", 5*time.Second, func() bool {
+		return c.Members()[1].State == "failed"
+	})
+	if got := c.UpCount(); got != 1 {
+		t.Fatalf("UpCount = %d after abandonment, want 1", got)
+	}
+	// The surviving replica keeps serving the whole keyspace.
+	for i := 0; i < 10; i++ {
+		if code, _ := postPredict(t, front, predictBody(i)); code != http.StatusOK {
+			t.Fatalf("predict %d failed after abandonment", i)
+		}
+	}
+}
+
+func TestClusterHedgingBeatsStalledPrimary(t *testing.T) {
+	_, fl, front := newTestCluster(t, 3, func(cfg *Config) {
+		cfg.HedgeDelay = 20 * time.Millisecond
+	})
+	body := predictBody(5)
+	if code, _ := postPredict(t, front, body); code != http.StatusOK {
+		t.Fatal("warmup predict failed")
+	}
+	primary := -1
+	for id := 0; id < 3; id++ {
+		if fl.current(id).hits.Load() > 0 {
+			primary = id
+		}
+	}
+	fl.current(primary).stallMS.Store(1500)
+
+	start := time.Now()
+	code, out := postPredict(t, front, body)
+	elapsed := time.Since(start)
+	if code != http.StatusOK {
+		t.Fatalf("hedged predict = %d (%v)", code, out)
+	}
+	if got := int(out["replica"].(float64)); got == primary {
+		t.Fatalf("answer came from the stalled primary %d", got)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("hedged predict took %v — rode out the full stall instead of hedging", elapsed)
+	}
+}
+
+func TestClusterDrainMember(t *testing.T) {
+	c, fl, front := newTestCluster(t, 3, nil)
+	body := predictBody(7)
+	if code, _ := postPredict(t, front, body); code != http.StatusOK {
+		t.Fatal("warmup predict failed")
+	}
+	primary := -1
+	for id := 0; id < 3; id++ {
+		if fl.current(id).hits.Load() > 0 {
+			primary = id
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.DrainMember(ctx, primary); err != nil {
+		t.Fatalf("DrainMember: %v", err)
+	}
+	if got := c.UpCount(); got != 2 {
+		t.Fatalf("UpCount = %d after drain, want 2", got)
+	}
+	if got := c.Members()[primary].State; got != "draining" {
+		t.Fatalf("drained member state %q", got)
+	}
+	before := fl.current(primary).hits.Load()
+	for i := 0; i < 10; i++ {
+		if code, _ := postPredict(t, front, body); code != http.StatusOK {
+			t.Fatalf("predict after drain failed")
+		}
+	}
+	if got := fl.current(primary).hits.Load(); got != before {
+		t.Fatalf("drained member took %d new requests", got-before)
+	}
+	// Drained members stay out: the supervisor must not respawn them.
+	time.Sleep(100 * time.Millisecond)
+	fl.mu.Lock()
+	spawns := fl.spawns[primary]
+	fl.mu.Unlock()
+	if spawns != 1 {
+		t.Fatalf("drained member respawned (%d spawns)", spawns)
+	}
+	if err := c.DrainMember(ctx, primary); err == nil {
+		t.Fatal("draining an already-drained member succeeded")
+	}
+}
+
+func TestClusterShutdown(t *testing.T) {
+	fl := newFakeFleet()
+	c, err := New(Config{
+		Replicas:      2,
+		Factory:       fl.factory,
+		Seed:          1,
+		PerTryTimeout: time.Second,
+		ProbeInterval: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	front := httptest.NewServer(c.Handler())
+	defer front.Close()
+	defer fl.closeAll()
+
+	if code, _ := postPredict(t, front, predictBody(0)); code != http.StatusOK {
+		t.Fatal("predict before shutdown failed")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// Every replica is closed.
+	for id := 0; id < 2; id++ {
+		select {
+		case <-fl.current(id).Done():
+		default:
+			t.Fatalf("replica %d still running after Shutdown", id)
+		}
+	}
+	// New work is refused with a back-off hint.
+	resp, err := front.Client().Post(front.URL+"/v1/predict", "application/json", strings.NewReader(predictBody(0)))
+	if err != nil {
+		t.Fatalf("POST after shutdown: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("predict after shutdown = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("post-shutdown 503 carries no Retry-After")
+	}
+	// Idempotent.
+	if err := c.Shutdown(ctx); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+}
+
+func TestClusterHealthAndReady(t *testing.T) {
+	c, fl, front := newTestCluster(t, 2, nil)
+	get := func(path string) (int, map[string]any) {
+		resp, err := front.Client().Get(front.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		return resp.StatusCode, out
+	}
+	code, h := get("/healthz")
+	if code != http.StatusOK || h["status"] != "ok" {
+		t.Fatalf("/healthz = %d %v", code, h)
+	}
+	if code, r := get("/readyz"); code != http.StatusOK || r["ready"] != true {
+		t.Fatalf("/readyz = %d %v", code, r)
+	}
+
+	fl.current(0).Kill()
+	waitFor(t, "health degraded", 2*time.Second, func() bool {
+		_, h := get("/healthz")
+		return h["status"] == "degraded" || h["status"] == "ok" && c.UpCount() == 2
+	})
+}
+
+func TestClusterStartFailureTearsDown(t *testing.T) {
+	fl := newFakeFleet()
+	c, err := New(Config{
+		Replicas: 3,
+		Factory: func(id, gen int) (Replica, error) {
+			if id == 2 {
+				return nil, fmt.Errorf("injected")
+			}
+			return fl.factory(id, gen)
+		},
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := c.Start(); err == nil {
+		t.Fatal("Start succeeded with a failing factory")
+	}
+	for _, f := range fl.reps {
+		select {
+		case <-f.Done():
+		default:
+			t.Fatalf("replica %d left running after failed Start", f.id)
+		}
+	}
+}
+
+func TestClusterObserveBroadcast(t *testing.T) {
+	_, _, front := newTestCluster(t, 3, nil)
+	resp, err := front.Client().Post(front.URL+"/v1/observe", "application/json",
+		strings.NewReader(`{"predicted":1.2,"observed":1.3}`))
+	if err != nil {
+		t.Fatalf("POST /v1/observe: %v", err)
+	}
+	defer resp.Body.Close()
+	var out observeResult
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK || out.Forwarded != 3 {
+		t.Fatalf("observe broadcast = %d, forwarded %d of 3", resp.StatusCode, out.Forwarded)
+	}
+}

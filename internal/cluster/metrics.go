@@ -1,0 +1,26 @@
+package cluster
+
+import "contention/internal/obs"
+
+// Cluster telemetry. Request outcomes are a labelled family so the run
+// manifest can break router traffic down the same way serve does;
+// supervision events (restarts, abandonments, breaker transitions) are
+// the self-healing audit trail.
+var (
+	mRequests = obs.NewCounterVec(obs.MetricClusterRequests,
+		"routed requests, by outcome", "outcome")
+	mRetries = obs.NewCounter(obs.MetricClusterRetries,
+		"failover re-sends after a retryable replica failure")
+	mSpills = obs.NewCounter(obs.MetricClusterSpills,
+		"requests routed past the ring primary for load or breaker state")
+	mHedges = obs.NewCounter(obs.MetricClusterHedges,
+		"hedged second requests launched for tail-latency protection")
+	mRestarts = obs.NewCounter(obs.MetricClusterRestarts,
+		"replica respawns performed by the supervisor")
+	mAbandoned = obs.NewCounter(obs.MetricClusterAbandoned,
+		"replicas abandoned after exhausting the crash-loop budget")
+	mReplicasUp = obs.NewGauge(obs.MetricClusterReplicasUp,
+		"replicas currently up and in the routing ring")
+	mRouteSeconds = obs.NewHistogram(obs.MetricClusterRouteSeconds,
+		"end-to-end routed request latency in seconds", obs.DefaultSecondsBuckets())
+)

@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// testKeys generates nKeys seeded batch-key-shaped strings.
+func testKeys(seed int64, nKeys int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("comm|to_back|j=%d|0.%04d:%d;0.%04d:%d",
+			rng.Intn(4), rng.Intn(10000), rng.Intn(2048), rng.Intn(10000), rng.Intn(2048))
+	}
+	return keys
+}
+
+func ownership(r *Ring, keys []string) map[int]int {
+	owners := make(map[int]int)
+	for _, k := range keys {
+		owners[r.Lookup(k)]++
+	}
+	return owners
+}
+
+// TestRingBalance pins the load-balance property: with DefaultVnodes
+// virtual nodes, every replica owns within 2x of its fair keyspace
+// share, for fleet sizes the cluster actually runs.
+func TestRingBalance(t *testing.T) {
+	keys := testKeys(11, 20000)
+	for _, n := range []int{2, 3, 4, 8} {
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		r := NewRing(DefaultVnodes, ids...)
+		owners := ownership(r, keys)
+		fair := float64(len(keys)) / float64(n)
+		for id := 0; id < n; id++ {
+			got := float64(owners[id])
+			if got < fair/2 || got > fair*2 {
+				t.Errorf("n=%d: replica %d owns %.0f keys, fair share %.0f (outside [0.5x, 2x])",
+					n, id, got, fair)
+			}
+		}
+	}
+}
+
+// TestRingJoinRemapsMinimally: adding a replica to an n-ring moves
+// keys only TO the new replica, and fewer than 2/(n+1) of them.
+func TestRingJoinRemapsMinimally(t *testing.T) {
+	keys := testKeys(23, 20000)
+	for _, n := range []int{2, 4, 8} {
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		before := NewRing(DefaultVnodes, ids...)
+		after := before.With(n)
+		moved := 0
+		for _, k := range keys {
+			was, is := before.Lookup(k), after.Lookup(k)
+			if was == is {
+				continue
+			}
+			moved++
+			if is != n {
+				t.Fatalf("n=%d: key moved from %d to %d, not to the joining replica %d", n, was, is, n)
+			}
+		}
+		if bound := 2 * len(keys) / (n + 1); moved >= bound {
+			t.Errorf("n=%d: join remapped %d of %d keys, want < %d", n, moved, len(keys), bound)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d: join remapped nothing — the new replica owns no keyspace", n)
+		}
+	}
+}
+
+// TestRingLeaveRemapsMinimally: removing a replica moves only the keys
+// it owned (fewer than 2/n of all keys), and nothing else.
+func TestRingLeaveRemapsMinimally(t *testing.T) {
+	keys := testKeys(37, 20000)
+	for _, n := range []int{2, 4, 8} {
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		before := NewRing(DefaultVnodes, ids...)
+		victim := n - 1
+		after := before.Without(victim)
+		moved := 0
+		for _, k := range keys {
+			was, is := before.Lookup(k), after.Lookup(k)
+			if was != victim && was != is {
+				t.Fatalf("n=%d: key owned by surviving replica %d remapped to %d", n, was, is)
+			}
+			if was == victim {
+				moved++
+				if is == victim {
+					t.Fatalf("n=%d: removed replica still owns a key", n)
+				}
+			}
+		}
+		if bound := 2 * len(keys) / n; moved >= bound {
+			t.Errorf("n=%d: leave remapped %d of %d keys, want < %d", n, moved, len(keys), bound)
+		}
+	}
+}
+
+// TestRingInsertionOrderIrrelevant: the ring is a pure function of its
+// membership set — replicas joining in any order yield identical
+// routing, so restarts cannot silently reshuffle the keyspace.
+func TestRingInsertionOrderIrrelevant(t *testing.T) {
+	keys := testKeys(53, 2000)
+	a := NewRing(DefaultVnodes, 0, 1, 2, 3)
+	b := NewRing(DefaultVnodes, 3, 1, 0, 2)
+	for _, k := range keys {
+		if a.Lookup(k) != b.Lookup(k) {
+			t.Fatalf("key %q routes to %d vs %d under different insertion orders", k, a.Lookup(k), b.Lookup(k))
+		}
+		if !reflect.DeepEqual(a.Sequence(k, 3), b.Sequence(k, 3)) {
+			t.Fatalf("key %q has order-dependent candidate sequence", k)
+		}
+	}
+}
+
+func TestRingSequence(t *testing.T) {
+	r := NewRing(DefaultVnodes, 0, 1, 2, 3)
+	keys := testKeys(71, 500)
+	for _, k := range keys {
+		seq := r.Sequence(k, 3)
+		if len(seq) != 3 {
+			t.Fatalf("Sequence(%q, 3) returned %d ids", k, len(seq))
+		}
+		seen := map[int]bool{}
+		for _, id := range seq {
+			if seen[id] {
+				t.Fatalf("Sequence(%q, 3) repeats replica %d", k, id)
+			}
+			seen[id] = true
+		}
+		if seq[0] != r.Lookup(k) {
+			t.Fatalf("Sequence head %d != Lookup %d", seq[0], r.Lookup(k))
+		}
+		// n beyond membership truncates to the full membership.
+		if got := r.Sequence(k, 10); len(got) != 4 {
+			t.Fatalf("Sequence(%q, 10) returned %d ids, want 4", k, len(got))
+		}
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	empty := NewRing(DefaultVnodes)
+	if got := empty.Lookup("anything"); got != -1 {
+		t.Fatalf("empty ring Lookup = %d, want -1", got)
+	}
+	if got := empty.Sequence("anything", 2); got != nil {
+		t.Fatalf("empty ring Sequence = %v, want nil", got)
+	}
+	one := empty.With(7)
+	if got := one.Lookup("anything"); got != 7 {
+		t.Fatalf("one-member ring Lookup = %d, want 7", got)
+	}
+	if one.With(7) != one {
+		t.Fatal("adding an existing member built a new ring")
+	}
+	if one.Without(99) != one {
+		t.Fatal("removing an absent member built a new ring")
+	}
+	if got := one.Without(7).Size(); got != 0 {
+		t.Fatalf("ring size after removing last member = %d", got)
+	}
+	if empty.Size() != 0 {
+		t.Fatal("With/Without mutated the receiver ring")
+	}
+}

@@ -57,4 +57,15 @@ const (
 	MetricServeQueueDepthMax  = "serve_queue_depth_max"
 	MetricServeRequestSeconds = "serve_request_seconds"
 	MetricServeFlushSeconds   = "serve_flush_seconds"
+
+	// internal/cluster — the self-healing replica fleet and its router.
+	MetricClusterRequests     = "cluster_requests_total"            // label: outcome
+	MetricClusterRetries      = "cluster_retries_total"             // failover re-sends after a retryable failure
+	MetricClusterSpills       = "cluster_spills_total"              // load-aware departures from the ring primary
+	MetricClusterHedges       = "cluster_hedges_total"              // hedged second requests launched
+	MetricClusterRestarts     = "cluster_restarts_total"            // replica respawns by the supervisor
+	MetricClusterAbandoned    = "cluster_abandoned_total"           // replicas given up on (crash-loop budget)
+	MetricClusterBreakerTrans = "cluster_breaker_transitions_total" // label: to
+	MetricClusterReplicasUp   = "cluster_replicas_up"
+	MetricClusterRouteSeconds = "cluster_route_seconds"
 )

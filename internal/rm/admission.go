@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Admission is the wall-clock admission controller for the online
@@ -108,6 +109,27 @@ func (a *Admission) Waiting() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.waiting
+}
+
+// Drain blocks until no request is admitted or waiting, or until ctx
+// ends (returning its error). It does not fence new admissions — the
+// caller stops routing work in first (readiness flip, listener close),
+// then drains. Polling is deliberate: drain runs once per shutdown with
+// a deadline measured in seconds, so a millisecond poll is invisible.
+func (a *Admission) Drain(ctx context.Context) error {
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		if a.InFlight() == 0 && a.Waiting() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("rm: drain interrupted with %d in flight, %d waiting: %w",
+				a.InFlight(), a.Waiting(), ctx.Err())
+		case <-tick.C:
+		}
+	}
 }
 
 // AdmissionStats is a point-in-time summary of an Admission controller.

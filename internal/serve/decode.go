@@ -220,6 +220,21 @@ func (req *Request) contenders() ([]core.Contender, error) {
 	return cs, nil
 }
 
+// BatchKey validates the request and returns its canonical affinity
+// key: the (kind, direction, explicit-j, contender-multiset) string
+// under which the server micro-batches it. Two requests with equal keys
+// are answered by one batched predictor call, so a router that keeps
+// equal keys on one replica preserves batching efficiency instead of
+// diluting it across the fleet. Failures are the same *RequestError the
+// serving path would return.
+func (req *Request) BatchKey() (string, error) {
+	q, err := req.validate()
+	if err != nil {
+		return "", err
+	}
+	return batchKey(q), nil
+}
+
 // statusFor maps an error from the serving pipeline to an HTTP status:
 // request faults keep their 4xx, admission rejections map to 429/504,
 // and model-side failures (a calibration that cannot answer) are 422 —

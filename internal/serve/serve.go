@@ -38,6 +38,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"contention/internal/caltrust"
@@ -106,6 +107,14 @@ type Server struct {
 	pendingN int
 	armed    bool
 	closed   bool
+	timer    *time.Timer // pending batch-window timer (nil when unarmed)
+
+	// draining marks the server not-ready (/readyz answers 503) while
+	// requests already in the pipeline are still answered.
+	draining atomic.Bool
+	// flushing tracks batch evaluations in flight so Close can wait for
+	// them: after Close returns, nothing touches the predictor again.
+	flushing sync.WaitGroup
 
 	// flushStall, when non-nil, is invoked at the start of every flush —
 	// the fault-injection hook the soak test uses to stall evaluation.
@@ -161,18 +170,44 @@ func (s *Server) Config() Config { return s.cfg }
 // Admission exposes the admission controller (for stats).
 func (s *Server) Admission() *rm.Admission { return s.adm }
 
+// Drain marks the server not-ready: GET /readyz answers 503 so routers
+// and external load balancers stop sending new work, while requests
+// already accepted (and stragglers that still arrive) are answered
+// normally. Close implies Drain.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain (or Close) has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // Close flushes every parked request and fails all future submissions
-// with ErrClosed. Safe to call more than once.
+// with ErrClosed. It is idempotent, and it does not return until every
+// in-flight batch evaluation — including one started by a concurrent
+// batch-window timer — has finished: after Close returns, the server
+// will never touch the predictor again, so the caller may safely tear
+// the predictor or pool down.
 func (s *Server) Close() {
+	s.draining.Store(true)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.flushing.Wait()
 		return
 	}
 	s.closed = true
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
 	gs := s.takeLocked()
+	if len(gs) > 0 {
+		s.flushing.Add(1)
+	}
 	s.mu.Unlock()
-	s.runGroups(gs)
+	if len(gs) > 0 {
+		s.runGroups(gs)
+		s.flushing.Done()
+	}
+	s.flushing.Wait()
 }
 
 // degradeReason reports why predictions cannot currently be trusted
@@ -211,6 +246,7 @@ func (s *Server) Predict(ctx context.Context, q query) (Response, error) {
 	req := &pendingReq{q: q, ch: make(chan outcome, 1)}
 	if flushNow := s.enqueue(req); flushNow != nil {
 		s.runGroups(flushNow)
+		s.flushing.Done()
 	}
 	select {
 	case out := <-req.ch:
@@ -244,7 +280,9 @@ func (s *Server) predictDegraded(q query, reason string) (Response, error) {
 
 // enqueue parks the request under its batch key. It returns a non-nil
 // group list when the caller must flush immediately (group hit
-// MaxBatch, or batching across arrivals is disabled).
+// MaxBatch, or batching across arrivals is disabled); the caller must
+// then call s.flushing.Done() after runGroups — the flush was
+// registered here, under the lock, so Close can wait for it.
 func (s *Server) enqueue(req *pendingReq) []*group {
 	key := batchKey(req.q)
 	s.mu.Lock()
@@ -267,17 +305,19 @@ func (s *Server) enqueue(req *pendingReq) []*group {
 		delete(s.groups, key)
 		s.pendingN -= len(g.reqs)
 		mQueueDepth.Set(float64(s.pendingN))
+		s.flushing.Add(1)
 		s.mu.Unlock()
 		return []*group{g}
 	}
 	if s.cfg.Window < 0 {
 		gs := s.takeLocked()
+		s.flushing.Add(1)
 		s.mu.Unlock()
 		return gs
 	}
 	if !s.armed {
 		s.armed = true
-		time.AfterFunc(s.cfg.Window, s.flushWindow)
+		s.timer = time.AfterFunc(s.cfg.Window, s.flushWindow)
 	}
 	s.mu.Unlock()
 	return nil
@@ -299,9 +339,22 @@ func (s *Server) takeLocked() []*group {
 func (s *Server) flushWindow() {
 	s.mu.Lock()
 	s.armed = false
+	s.timer = nil
+	if s.closed {
+		// Close already detached (and flushed) every parked group; a
+		// late-firing timer must not start a second evaluation.
+		s.mu.Unlock()
+		return
+	}
 	gs := s.takeLocked()
+	if len(gs) == 0 {
+		s.mu.Unlock()
+		return
+	}
+	s.flushing.Add(1)
 	s.mu.Unlock()
 	s.runGroups(gs)
+	s.flushing.Done()
 }
 
 // runGroups evaluates detached groups, fanning out on the pool. Each
@@ -412,12 +465,28 @@ func batchKey(q query) string {
 //	POST /v1/observe  — feed a predicted/observed residual to the trust
 //	                    tracker (drift detection over live traffic)
 //	GET  /healthz     — liveness + trust state
+//	GET  /readyz      — routability: 503 while draining or while the
+//	                    calibration is Degraded (failed validation)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.HandleFunc("POST /v1/observe", s.handleObserve)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	return mux
+}
+
+// RetryAfterSeconds is the back-off hint set on every 429 and 503
+// response, so routers and external load balancers pace their retries
+// instead of hammering an overloaded or draining instance.
+const RetryAfterSeconds = "1"
+
+// setBackoffHint stamps the Retry-After header for statuses that ask
+// the client to come back later.
+func setBackoffHint(w http.ResponseWriter, status int) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", RetryAfterSeconds)
+	}
 }
 
 // outcomeLabel classifies an error for the responses-by-outcome series.
@@ -449,6 +518,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, ErrClosed) {
 			status = http.StatusServiceUnavailable
 		}
+		setBackoffHint(w, status)
 		writeJSON(w, status, errorBody{Error: err.Error()})
 		return
 	}
@@ -522,14 +592,52 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if t := s.cfg.Tracker; t != nil {
 		h.Trust = t.State().String()
 		h.Reason = t.Reason()
-	} else if st := s.cfg.Pred.Stale(); st != "" {
-		h.Trust = caltrust.Stale.String()
-		h.Reason = st
+	}
+	// A replica-local staleness mark (e.g. the RM invalidated this
+	// calibration) is degradation evidence even when the tracker still
+	// trusts its own validation — mirror degradeReason, which flags the
+	// answers themselves.
+	if h.Trust == caltrust.Fresh.String() {
+		if st := s.cfg.Pred.Stale(); st != "" {
+			h.Trust = caltrust.Stale.String()
+			h.Reason = st
+		}
 	}
 	if h.Trust != caltrust.Fresh.String() {
 		h.Status = "degraded"
 	}
 	writeJSON(w, http.StatusOK, h)
+}
+
+// readyResponse is the /readyz body.
+type readyResponse struct {
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// handleReady implements GET /readyz: readiness for new traffic, as
+// distinct from /healthz liveness. Not-ready (503 + Retry-After) while
+// draining or while the calibration is Degraded — failed validation
+// outright, so every answer would be the blind p+1 fallback. A merely
+// Stale calibration stays ready: degraded answers are conservative but
+// still useful, and pulling the replica would shed capacity for no
+// correctness gain.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	reason := ""
+	switch {
+	case s.draining.Load():
+		reason = "draining"
+	default:
+		if t := s.cfg.Tracker; t != nil && t.State() == caltrust.Degraded {
+			reason = "calibration degraded: " + t.Reason()
+		}
+	}
+	if reason != "" {
+		setBackoffHint(w, http.StatusServiceUnavailable)
+		writeJSON(w, http.StatusServiceUnavailable, readyResponse{Ready: false, Reason: reason})
+		return
+	}
+	writeJSON(w, http.StatusOK, readyResponse{Ready: true})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
