@@ -3,7 +3,7 @@ GO ?= go
 # Label stamped into the benchmark snapshot written by `make bench`.
 LABEL ?= dev
 
-.PHONY: all build vet test race check bench benchcmp bench-smoke fmt fuzz calibration-roundtrip obs-gate serve-gate serve-bench cluster-gate cluster-bench
+.PHONY: all build vet test race check bench benchcmp bench-smoke fmt fuzz calibration-roundtrip obs-gate serve-gate serve-bench cluster-gate cluster-bench netchaos-gate remote-bench
 
 all: check
 
@@ -87,8 +87,35 @@ cluster-gate:
 cluster-bench:
 	$(GO) run ./cmd/loadgen -cluster 4 -duration 3s -conc 8 -label $(LABEL) -o BENCH_$(LABEL)_cluster.json
 
+# Network chaos gate: the seeded net-fault plan and proxy behavior
+# battery, the race-checked remote soak (real contentiond child
+# processes joined as remote members, each behind a netchaos proxy
+# injecting seeded latency/resets/stalls/partitions mid-load — ≥99%
+# success, availability never zero, partitioned members suspected and
+# readmitted after heal), the membership/failure-detector battery, and
+# a loadgen smoke through the remote-member path.
+netchaos-gate:
+	$(GO) test -run 'TestPlanNetChaos' ./internal/faults
+	$(GO) test -race ./internal/netchaos
+	$(GO) test -run 'TestParseMembers|TestConfigValidate|TestMembership|TestAddRemote|TestRemoteSuspect|TestClusterClientGone' ./internal/cluster
+	$(GO) test -race -run 'TestRemoteChaosGate' ./internal/cluster
+	$(GO) test -run 'TestMembersReloadSmoke' ./cmd/contentionlb
+	tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) build -o "$$tmp/contentiond" ./cmd/contentiond && \
+	$(GO) run ./cmd/loadgen -remote 2 -exec "$$tmp/contentiond" -duration 1s -conc 4 -warmup 100ms > /dev/null
+	@echo "netchaos-gate: OK"
+
+# Record the remote-member benchmark snapshot: the serve-bench traffic
+# shape through a remote-only router over two contentiond child
+# processes — the multi-host transport path (HTTP hops, deadline
+# propagation, heartbeats) measured against the in-process numbers.
+remote-bench:
+	tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) build -o "$$tmp/contentiond" ./cmd/contentiond && \
+	$(GO) run ./cmd/loadgen -remote 2 -exec "$$tmp/contentiond" -duration 3s -conc 8 -label $(LABEL) -o BENCH_$(LABEL)_remote.json
+
 # The full local gate: everything CI would run.
-check: build vet race fuzz calibration-roundtrip obs-gate serve-gate cluster-gate bench-smoke
+check: build vet race fuzz calibration-roundtrip obs-gate serve-gate cluster-gate netchaos-gate bench-smoke
 
 # Record a benchmark snapshot: full suite with allocation stats, parsed
 # into BENCH_$(LABEL).json for later `make benchcmp` diffs.

@@ -22,10 +22,18 @@
 // SIGTERM drains: readiness flips off, in-flight requests finish, then
 // every replica shuts down gracefully.
 //
+// With -members the balancer also (or only) fronts remote replicas on
+// other hosts: the file lists addresses and routing weights, is
+// hot-reloaded on SIGHUP and by polling, and a heartbeat failure
+// detector moves silent members out of the ring until they answer
+// again. Removing a member from the file drains it gracefully — its
+// keys remap to ring successors, in-flight requests finish.
+//
 // Usage:
 //
 //	contentionlb -replicas 4                      # 4 in-process replicas
 //	contentionlb -replicas 4 -exec ./contentiond  # 4 child-process daemons
+//	contentionlb -members members.json            # remote fleet on other hosts
 //	contentionlb -replicas 4 -hedge 5ms -metrics -addr :9000
 package main
 
@@ -61,6 +69,10 @@ func main() {
 	maxTries := flag.Int("max-tries", cluster.DefaultMaxTries, "attempt bound per request (first try + failovers)")
 	retryBudget := flag.Float64("retry-budget", cluster.DefaultRetryBudget, "cluster-wide retry allowance as a fraction of request volume")
 	probe := flag.Duration("probe", cluster.DefaultProbeInterval, "replica health-probe interval")
+	members := flag.String("members", "", `remote members file ({"members":[{"addr":"host:port","weight":2},...]}); hot-reloaded on SIGHUP and by polling. With no explicit -replicas the local fleet is 0`)
+	heartbeat := flag.Duration("heartbeat", 0, "remote-member heartbeat interval (0 selects -probe)")
+	suspectAfter := flag.Float64("suspect-after", cluster.DefaultSuspectAfter, "failure-detector threshold in learned heartbeat intervals of silence")
+	reload := flag.Duration("reload", time.Second, "members-file poll interval")
 	timeout := flag.Duration("timeout", serve.DefaultTimeout, "end-to-end request deadline")
 	metrics := flag.Bool("metrics", false, "record telemetry and expose GET /metrics; implied by -metrics-addr and -run-report")
 	metricsAddr := flag.String("metrics-addr", "", "also serve Prometheus text on http://ADDR/metrics and expvar on /debug/vars")
@@ -84,16 +96,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", a)
 	}
 
+	// A members file with no explicit -replicas means a remote-only
+	// balancer: every backend lives on another host.
+	if *members != "" {
+		replicasSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "replicas" {
+				replicasSet = true
+			}
+		})
+		if !replicasSet {
+			*replicas = 0
+		}
+	}
+
 	var factory cluster.Factory
 	backend := "in-process"
-	if *execBin != "" {
+	switch {
+	case *replicas == 0:
+		backend = "remote-only"
+	case *execBin != "":
 		backend = *execBin
 		args := []string{"-window", window.String()}
 		if *calPath != "" {
 			args = append(args, "-cal", *calPath)
 		}
 		factory = cluster.ExecFactory(*execBin, args...)
-	} else {
+	default:
 		var cal *core.Calibration
 		if *calPath != "" {
 			loaded, _, err := caltrust.ReadFile(*calPath)
@@ -107,14 +136,16 @@ func main() {
 	}
 
 	c, err := cluster.New(cluster.Config{
-		Replicas:      *replicas,
-		Factory:       factory,
-		HedgeDelay:    *hedge,
-		SpillInFlight: *spill,
-		MaxTries:      *maxTries,
-		RetryBudget:   *retryBudget,
-		ProbeInterval: *probe,
-		Timeout:       *timeout,
+		Replicas:          *replicas,
+		Factory:           factory,
+		HedgeDelay:        *hedge,
+		SpillInFlight:     *spill,
+		MaxTries:          *maxTries,
+		RetryBudget:       *retryBudget,
+		ProbeInterval:     *probe,
+		HeartbeatInterval: *heartbeat,
+		SuspectAfter:      *suspectAfter,
+		Timeout:           *timeout,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -123,6 +154,47 @@ func main() {
 	if err := c.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	// Membership: the members file is the fleet's source of truth. Boot
+	// fails on an unreadable file (a balancer with no backends is a
+	// deployment error); after boot, reload errors keep the last good
+	// member set serving.
+	memStop := make(chan struct{})
+	if *members != "" {
+		ms, err := cluster.NewMembership(c, cluster.MembershipConfig{
+			Fetch:        cluster.FileSource(*members),
+			PollInterval: *reload,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sum, err := ms.Reload(context.Background())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "members:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "members: %d joined from %s\n", sum.Added, *members)
+		go ms.Run(memStop)
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for {
+				select {
+				case <-memStop:
+					return
+				case <-hup:
+					sum, err := ms.Reload(context.Background())
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "members reload:", err)
+						continue
+					}
+					fmt.Fprintf(os.Stderr, "members reload: +%d -%d ~%d\n",
+						sum.Added, sum.Removed, sum.Reweighted)
+				}
+			}
+		}()
 	}
 
 	mux := http.NewServeMux()
@@ -158,6 +230,7 @@ func main() {
 	// Drain order: the cluster flips /readyz and refuses new predicts
 	// first, in-flight routed requests finish, replicas close; then the
 	// front listener shuts down.
+	close(memStop)
 	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := c.Shutdown(shutCtx); err != nil {

@@ -20,9 +20,19 @@
 //
 // Usage:
 //
+// With -remote N and -exec it self-serves the multi-host path: N
+// contentiond child processes joined as remote members of a
+// remote-only router (HTTP transport, heartbeat failure detection) —
+// the closest single-machine stand-in for a real fleet. With -members
+// it routes to the remote replicas listed in a members file instead.
+//
+// Usage:
+//
 //	loadgen -duration 5s -conc 8                  # closed loop, self-served
 //	loadgen -mode open -rate 2000 -duration 10s   # open loop at 2 kreq/s
 //	loadgen -cluster 4 -o BENCH_cluster.json      # 4-replica fleet behind the router
+//	loadgen -remote 2 -exec ./contentiond         # remote-member path, child daemons
+//	loadgen -members members.json                 # remote fleet from a members file
 //	loadgen -addr 127.0.0.1:8123 -o BENCH_serve.json -label pr5
 package main
 
@@ -78,6 +88,9 @@ func main() {
 	out := flag.String("o", "", "write benchjson snapshot to this file (default stdout)")
 	window := flag.Duration("window", serve.DefaultWindow, "micro-batch window for the self-served server")
 	clusterN := flag.Int("cluster", 0, "self-serve a supervised cluster of N in-process replicas behind the affinity router (instead of one server); ignored with -addr")
+	remoteN := flag.Int("remote", 0, "self-serve a remote-only router over N contentiond child processes from -exec; ignored with -addr")
+	execBin := flag.String("exec", "", "contentiond binary spawned by -remote")
+	membersPath := flag.String("members", "", "route to the remote members listed in this file (remote-only router in front); ignored with -addr")
 	flag.Parse()
 
 	if *mode != "closed" && *mode != "open" {
@@ -89,17 +102,29 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *remoteN > 0 && *execBin == "" {
+		fmt.Fprintln(os.Stderr, "-remote needs -exec (the contentiond binary to spawn)")
+		os.Exit(2)
+	}
 	target := *addr
+	remoteMembers := 0
 	if target == "" {
 		var (
 			stop     func()
 			hostPort string
+			desc     string
 			err      error
 		)
-		if *clusterN > 0 {
+		switch {
+		case *remoteN > 0 || *membersPath != "":
+			stop, hostPort, remoteMembers, err = selfServeRemote(*remoteN, *execBin, *membersPath, *window)
+			desc = fmt.Sprintf("remote-only router over %d members", remoteMembers)
+		case *clusterN > 0:
 			stop, hostPort, err = selfServeCluster(*clusterN, *window)
-		} else {
+			desc = fmt.Sprintf("%d-replica cluster", *clusterN)
+		default:
 			stop, hostPort, err = selfServe(*window)
+			desc = "server"
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "self-serve:", err)
@@ -107,12 +132,7 @@ func main() {
 		}
 		defer stop()
 		target = hostPort
-		if *clusterN > 0 {
-			fmt.Fprintf(os.Stderr, "self-serving %d-replica cluster on %s (synthetic calibration, window %v)\n",
-				*clusterN, target, *window)
-		} else {
-			fmt.Fprintf(os.Stderr, "self-serving on %s (synthetic calibration, window %v)\n", target, *window)
-		}
+		fmt.Fprintf(os.Stderr, "self-serving %s on %s (synthetic calibration, window %v)\n", desc, target, *window)
 	}
 	url := "http://" + target + "/v1/predict"
 	client := &http.Client{Transport: &http.Transport{
@@ -138,8 +158,13 @@ func main() {
 	if *mode == "open" {
 		name = fmt.Sprintf("Loadgen/open-rate%g", *rate)
 	}
-	if *addr == "" && *clusterN > 0 {
-		name += fmt.Sprintf("-cluster%d", *clusterN)
+	if *addr == "" {
+		switch {
+		case *remoteN > 0 || *membersPath != "":
+			name += fmt.Sprintf("-remote%d", remoteMembers)
+		case *clusterN > 0:
+			name += fmt.Sprintf("-cluster%d", *clusterN)
+		}
 	}
 	snap := snapshot{
 		Label:  *label,
@@ -234,6 +259,72 @@ func selfServeCluster(n int, window time.Duration) (stop func(), hostPort string
 		defer cancel()
 		_ = c.Shutdown(ctx)
 	}, ln.Addr().String(), nil
+}
+
+// selfServeRemote starts a remote-only router on a loopback port and
+// joins its members: n contentiond child processes spawned from bin,
+// plus everything listed in membersPath (either may be empty). The
+// routed path is the real multi-host one — HTTP transport, heartbeat
+// failure detection — just with loopback standing in for the network.
+func selfServeRemote(n int, bin, membersPath string, window time.Duration) (stop func(), hostPort string, members int, err error) {
+	c, err := cluster.New(cluster.Config{})
+	if err != nil {
+		return nil, "", 0, err
+	}
+	if err := c.Start(); err != nil {
+		return nil, "", 0, err
+	}
+	var children []cluster.Replica
+	teardown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = c.Shutdown(ctx)
+		for _, r := range children {
+			_ = r.Close(ctx)
+		}
+	}
+	fail := func(err error) (func(), string, int, error) {
+		teardown()
+		return nil, "", 0, err
+	}
+	if n > 0 {
+		factory := cluster.ExecFactory(bin, "-window", window.String())
+		for i := 0; i < n; i++ {
+			rep, err := factory(i, 0)
+			if err != nil {
+				return fail(fmt.Errorf("spawn contentiond %d: %w", i, err))
+			}
+			children = append(children, rep)
+			if _, err := c.AddRemote(rep.Addr(), 1); err != nil {
+				return fail(err)
+			}
+			members++
+		}
+	}
+	if membersPath != "" {
+		ms, err := cluster.NewMembership(c, cluster.MembershipConfig{Fetch: cluster.FileSource(membersPath)})
+		if err != nil {
+			return fail(err)
+		}
+		sum, err := ms.Reload(context.Background())
+		if err != nil {
+			return fail(err)
+		}
+		members += sum.Added
+	}
+	if members == 0 {
+		return fail(fmt.Errorf("no remote members joined"))
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	hs := &http.Server{Handler: c.Handler()}
+	go hs.Serve(ln)
+	return func() {
+		hs.Close()
+		teardown()
+	}, ln.Addr().String(), members, nil
 }
 
 // corpus builds n request bodies over a small pool of contender mixes,

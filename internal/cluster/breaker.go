@@ -175,6 +175,20 @@ func (b *Breaker) Allow() bool {
 	}
 }
 
+// Forgive releases an Allow() slot without recording an outcome. It is
+// the pairing call for attempts whose failure says nothing about the
+// replica — the requesting client canceled or disconnected mid-request
+// — so the rolling error window stays a measure of replica health, not
+// of client behavior. In HalfOpen it frees the reserved probe slot; in
+// Closed and Open it is a no-op.
+func (b *Breaker) Forgive() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == HalfOpen && b.probing > 0 {
+		b.probing--
+	}
+}
+
 // Record feeds one request outcome back.
 func (b *Breaker) Record(ok bool) {
 	b.mu.Lock()

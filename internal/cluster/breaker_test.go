@@ -148,6 +148,49 @@ func TestBreakerWindowAgesOutFailures(t *testing.T) {
 	}
 }
 
+// TestBreakerForgive: a forgiven attempt leaves no trace — the rolling
+// window does not move, and in HalfOpen the reserved probe slot is
+// freed so a canceled probe cannot wedge recovery.
+func TestBreakerForgive(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	// Closed: Allow+Forgive records nothing.
+	for i := 0; i < 20; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker refused")
+		}
+		b.Forgive()
+	}
+	if vol, _ := b.Stats(); vol != 0 {
+		t.Fatalf("windowed volume %d after forgiven attempts, want 0", vol)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state %v after forgiven attempts, want closed", b.State())
+	}
+
+	// HalfOpen: forgiving frees the probe slot for the next attempt.
+	for i := 0; i < 10; i++ {
+		b.Record(false)
+	}
+	clk.advance(1100 * time.Millisecond)
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("half-open probes refused")
+	}
+	if b.Allow() {
+		t.Fatal("probe allowed beyond HalfOpenProbes")
+	}
+	b.Forgive()
+	if !b.Allow() {
+		t.Fatal("forgiven probe slot was not freed")
+	}
+	// The two outstanding probes can still close the breaker.
+	b.Record(true)
+	b.Record(true)
+	if got := b.State(); got != Closed {
+		t.Fatalf("state %v after recovery through a forgiven probe, want closed", got)
+	}
+}
+
 func TestBreakerStateIsSideEffectFree(t *testing.T) {
 	clk := newFakeClock()
 	b := testBreaker(clk)

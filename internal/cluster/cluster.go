@@ -33,6 +33,7 @@ const (
 	DefaultRetryBudget     = 0.2
 	DefaultPerTryTimeout   = 500 * time.Millisecond
 	DefaultProbeInterval   = 250 * time.Millisecond
+	DefaultSuspectAfter    = 4.0
 )
 
 // retryTokenCap bounds banked retry credit (milli-tokens): bursts of
@@ -82,8 +83,24 @@ type Config struct {
 	MaxInFlight, MaxQueue int
 	// Breaker parameterizes the per-replica circuit breakers.
 	Breaker BreakerConfig
-	// ProbeInterval is the health-probe period.
+	// ProbeInterval is the health-probe period for locally supervised
+	// replicas.
 	ProbeInterval time.Duration
+	// ProbeTimeout bounds each health-probe / heartbeat HTTP request.
+	// Zero selects ProbeInterval (a probe never outlives its period);
+	// an explicit value larger than ProbeInterval is a validation error,
+	// since overlapping probes would double-count breaker outcomes.
+	ProbeTimeout time.Duration
+	// HeartbeatInterval is the failure-detector heartbeat period for
+	// remote members. Zero selects ProbeInterval.
+	HeartbeatInterval time.Duration
+	// SuspectAfter is the failure-detector suspicion threshold, in
+	// multiples of the learned EWMA heartbeat inter-arrival: a remote
+	// member silent for more than SuspectAfter expected intervals leaves
+	// the ring until it heartbeats again. Zero selects
+	// DefaultSuspectAfter; explicit values below 1 are a validation
+	// error (they would suspect members faster than one heartbeat).
+	SuspectAfter float64
 }
 
 func (cfg Config) withDefaults() Config {
@@ -132,7 +149,29 @@ func (cfg Config) withDefaults() Config {
 	if cfg.ProbeInterval <= 0 {
 		cfg.ProbeInterval = DefaultProbeInterval
 	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = cfg.ProbeInterval
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = cfg.ProbeInterval
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = DefaultSuspectAfter
+	}
 	return cfg
+}
+
+// validate rejects default-filled configurations that could not work.
+func (cfg Config) validate() error {
+	if cfg.ProbeTimeout > cfg.ProbeInterval {
+		return fmt.Errorf("cluster: ProbeTimeout %v exceeds ProbeInterval %v — probes would overlap and double-count breaker outcomes",
+			cfg.ProbeTimeout, cfg.ProbeInterval)
+	}
+	if cfg.SuspectAfter < 1 {
+		return fmt.Errorf("cluster: SuspectAfter %g would suspect members faster than one missed heartbeat (want >= 1)",
+			cfg.SuspectAfter)
+	}
+	return nil
 }
 
 // memberState is one member's supervision state.
@@ -143,6 +182,7 @@ const (
 	stateDown
 	stateFailed
 	stateDraining
+	stateSuspect
 )
 
 func (s memberState) String() string {
@@ -155,16 +195,23 @@ func (s memberState) String() string {
 		return "failed"
 	case stateDraining:
 		return "draining"
+	case stateSuspect:
+		return "suspect"
 	}
 	return "unknown"
 }
 
 // member is one supervised replica slot: the slot (id, breaker,
 // supervision history) is permanent, the Replica incarnation behind it
-// comes and goes.
+// comes and goes. Local slots are babysat (crash → respawn); remote
+// slots are judged by the heartbeat failure detector (silence → suspect
+// → out of the ring until it beats again).
 type member struct {
 	id       int
+	remote   bool
 	breaker  *Breaker
+	sus      *suspicion  // remote members only
+	hbBusy   atomic.Bool // one heartbeat in flight at a time
 	inflight atomic.Int64
 	degraded atomic.Bool // last health probe saw a non-Fresh calibration
 
@@ -172,6 +219,7 @@ type member struct {
 	state   memberState
 	rep     Replica
 	addr    string
+	weight  float64
 	gen     int
 	strikes int
 	upSince time.Time
@@ -193,6 +241,49 @@ func (m *member) currentAddr() string {
 	return m.addr
 }
 
+// heartbeatAddr is the address the failure detector should heartbeat:
+// up members (rhythm tracking) and suspect members (recovery
+// detection), never drained or failed ones.
+func (m *member) heartbeatAddr() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.removed || (m.state != stateUp && m.state != stateSuspect) {
+		return ""
+	}
+	return m.addr
+}
+
+// markSuspect flips an up remote member to suspect; reports whether the
+// transition happened (caller then removes it from the ring).
+func (m *member) markSuspect() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.removed || m.state != stateUp {
+		return false
+	}
+	m.state = stateSuspect
+	return true
+}
+
+// clearSuspect flips a suspect member back to up; reports whether the
+// transition happened (caller then re-adds it to the ring).
+func (m *member) clearSuspect() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.removed || m.state != stateSuspect {
+		return false
+	}
+	m.state = stateUp
+	m.upSince = time.Now()
+	return true
+}
+
+func (m *member) getWeight() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.weight
+}
+
 // Cluster is the supervised fleet plus its affinity router. Build with
 // New, call Start, serve Handler; it is goroutine-safe.
 type Cluster struct {
@@ -200,6 +291,10 @@ type Cluster struct {
 	adm    *rm.Admission
 	client *http.Client
 
+	// members is append-only: a member's id is its index, forever. The
+	// slice header is guarded by memMu (AddRemote appends); the members
+	// themselves carry their own locks.
+	memMu   sync.RWMutex
 	members []*member
 	ringMu  sync.Mutex // serializes ring read-modify-write
 	ring    atomic.Pointer[Ring]
@@ -218,14 +313,19 @@ type Cluster struct {
 }
 
 // New builds an unstarted cluster, applying defaults for zero fields.
+// Replicas == 0 is a remote-only cluster: no local fleet is spawned and
+// members arrive via AddRemote / the membership manager.
 func New(cfg Config) (*Cluster, error) {
-	if cfg.Replicas < 1 {
-		return nil, errors.New("cluster: Config.Replicas must be at least 1")
+	if cfg.Replicas < 0 {
+		return nil, errors.New("cluster: Config.Replicas must not be negative")
 	}
-	if cfg.Factory == nil {
-		return nil, errors.New("cluster: Config.Factory is required")
+	if cfg.Replicas > 0 && cfg.Factory == nil {
+		return nil, errors.New("cluster: Config.Factory is required for local replicas")
 	}
 	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	c := &Cluster{
 		cfg: cfg,
 		adm: rm.NewAdmission(cfg.MaxInFlight, cfg.MaxQueue),
@@ -240,10 +340,27 @@ func New(cfg Config) (*Cluster, error) {
 	c.retryTokens.Store(5_000) // a little starting credit so early faults can fail over
 	c.members = make([]*member, cfg.Replicas)
 	for i := range c.members {
-		c.members[i] = &member{id: i, breaker: NewBreaker(cfg.Breaker)}
+		c.members[i] = &member{id: i, weight: 1, breaker: NewBreaker(cfg.Breaker)}
 	}
 	c.ring.Store(NewRing(cfg.Vnodes))
 	return c, nil
+}
+
+// memberList snapshots the member slice. Members are append-only, so
+// iterating the returned header without the lock is safe.
+func (c *Cluster) memberList() []*member {
+	c.memMu.RLock()
+	defer c.memMu.RUnlock()
+	return c.members
+}
+
+func (c *Cluster) memberByID(id int) *member {
+	c.memMu.RLock()
+	defer c.memMu.RUnlock()
+	if id < 0 || id >= len(c.members) {
+		return nil
+	}
+	return c.members[id]
 }
 
 // Config returns the effective (default-filled) configuration.
@@ -260,19 +377,26 @@ func (c *Cluster) Start() error {
 	if !c.started.CompareAndSwap(false, true) {
 		return errors.New("cluster: already started")
 	}
+	all := c.memberList()
+	var locals []*member
+	for _, m := range all {
+		if !m.remote {
+			locals = append(locals, m)
+		}
+	}
 	ring := NewRing(c.cfg.Vnodes)
-	for i, m := range c.members {
-		rep, err := c.cfg.Factory(i, 0)
+	for i, m := range locals {
+		rep, err := c.cfg.Factory(m.id, 0)
 		if err != nil {
 			for j := 0; j < i; j++ {
-				c.members[j].mu.Lock()
-				r := c.members[j].rep
-				c.members[j].mu.Unlock()
+				locals[j].mu.Lock()
+				r := locals[j].rep
+				locals[j].mu.Unlock()
 				if r != nil {
 					r.Kill()
 				}
 			}
-			return fmt.Errorf("cluster: spawn replica %d: %w", i, err)
+			return fmt.Errorf("cluster: spawn replica %d: %w", m.id, err)
 		}
 		m.mu.Lock()
 		m.state = stateUp
@@ -280,17 +404,147 @@ func (c *Cluster) Start() error {
 		m.addr = rep.Addr()
 		m.upSince = time.Now()
 		m.mu.Unlock()
-		ring = ring.With(i)
+		ring = ring.WithWeight(m.id, m.getWeight())
+	}
+	// Remote members added before Start keep their ring points.
+	c.ringMu.Lock()
+	for _, m := range all {
+		if m.remote && m.up() {
+			ring = ring.WithWeight(m.id, m.getWeight())
+		}
 	}
 	c.ring.Store(ring)
+	c.ringMu.Unlock()
 	mReplicasUp.Set(float64(ring.Size()))
-	for _, m := range c.members {
+	for _, m := range locals {
 		c.wg.Add(1)
 		go c.babysit(m)
 	}
 	c.wg.Add(1)
 	go c.probeLoop()
+	c.wg.Add(1)
+	go c.heartbeatLoop()
 	return nil
+}
+
+// AddRemote joins a remote prediction daemon at addr to the fleet with
+// the given routing weight (weight <= 0 selects 1). It starts up and in
+// the ring immediately; from then on the heartbeat failure detector
+// decides whether it stays. Returns the new member's id.
+func (c *Cluster) AddRemote(addr string, weight float64) (int, error) {
+	if err := validateMemberAddr(addr); err != nil {
+		return 0, err
+	}
+	if weight <= 0 {
+		weight = 1
+	}
+	c.memMu.Lock()
+	for _, m := range c.members {
+		m.mu.Lock()
+		dup := m.addr == addr && !m.removed && m.state != stateFailed
+		m.mu.Unlock()
+		if dup {
+			c.memMu.Unlock()
+			return 0, fmt.Errorf("cluster: member %d already serves %s", m.id, addr)
+		}
+	}
+	id := len(c.members)
+	m := &member{
+		id:      id,
+		remote:  true,
+		weight:  weight,
+		breaker: NewBreaker(c.cfg.Breaker),
+		sus:     newSuspicion(c.cfg.HeartbeatInterval, c.cfg.SuspectAfter, time.Now()),
+	}
+	m.state = stateUp
+	m.rep = newRemoteReplica(addr)
+	m.addr = addr
+	m.upSince = time.Now()
+	c.members = append(c.members, m)
+	c.memMu.Unlock()
+	c.ringAdd(id)
+	mMembersAdded.Inc()
+	return id, nil
+}
+
+// ReweightMember changes member id's share of the keyspace. Only that
+// member's ring points move, so at most its ownership-share delta of
+// keys remap. Weight 0 keeps the member serving (failover, hedges) but
+// owning no keys.
+func (c *Cluster) ReweightMember(id int, weight float64) error {
+	m := c.memberByID(id)
+	if m == nil {
+		return fmt.Errorf("cluster: no member %d", id)
+	}
+	if weight < 0 {
+		return fmt.Errorf("cluster: member %d weight %g must not be negative", id, weight)
+	}
+	m.mu.Lock()
+	m.weight = weight
+	inRing := m.state == stateUp
+	m.mu.Unlock()
+	if inRing {
+		c.ringMu.Lock()
+		r := c.ring.Load().WithWeight(id, weight)
+		c.ring.Store(r)
+		c.ringMu.Unlock()
+		mReplicasUp.Set(float64(r.Size()))
+	}
+	return nil
+}
+
+// heartbeatLoop drives the failure detector for remote members: each
+// tick it checks every remote member's suspicion level (silence →
+// suspect → out of the ring) and launches a non-blocking heartbeat
+// probe whose arrival feeds the detector (and whose outcome feeds the
+// breaker, so a remote member that answers garbage still trips it).
+func (c *Cluster) heartbeatLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		for _, m := range c.memberList() {
+			if !m.remote {
+				continue
+			}
+			if m.sus.suspect(now) && m.markSuspect() {
+				c.ringRemove(m.id)
+				mSuspects.Inc()
+			}
+			addr := m.heartbeatAddr()
+			if addr == "" {
+				continue
+			}
+			if !m.hbBusy.CompareAndSwap(false, true) {
+				continue // previous heartbeat still in flight
+			}
+			c.wg.Add(1)
+			go func(m *member, addr string) {
+				defer c.wg.Done()
+				defer m.hbBusy.Store(false)
+				allowed := m.breaker.Allow()
+				ok, degraded := c.probe(addr)
+				if allowed {
+					m.breaker.Record(ok)
+				}
+				if !ok {
+					return
+				}
+				m.degraded.Store(degraded)
+				m.sus.beat(time.Now())
+				if m.clearSuspect() {
+					c.ringAdd(m.id)
+					mRejoins.Inc()
+				}
+			}(m, addr)
+		}
+	}
 }
 
 // --- supervision -------------------------------------------------------------
@@ -390,8 +644,12 @@ func (c *Cluster) backoff(strikes int) time.Duration {
 }
 
 func (c *Cluster) ringAdd(id int) {
+	w := 1.0
+	if m := c.memberByID(id); m != nil {
+		w = m.getWeight()
+	}
 	c.ringMu.Lock()
-	r := c.ring.Load().With(id)
+	r := c.ring.Load().WithWeight(id, w)
 	c.ring.Store(r)
 	c.ringMu.Unlock()
 	mReplicasUp.Set(float64(r.Size()))
@@ -411,10 +669,10 @@ func (c *Cluster) UpCount() int { return c.ring.Load().Size() }
 // Replica returns member id's current incarnation (nil while down) —
 // the chaos harness reaches replicas through this.
 func (c *Cluster) Replica(id int) Replica {
-	if id < 0 || id >= len(c.members) {
+	m := c.memberByID(id)
+	if m == nil {
 		return nil
 	}
-	m := c.members[id]
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.rep
@@ -435,7 +693,10 @@ func (c *Cluster) probeLoop() {
 			return
 		case <-t.C:
 		}
-		for _, m := range c.members {
+		for _, m := range c.memberList() {
+			if m.remote {
+				continue // remote members are heartbeated, not probed
+			}
 			addr := m.currentAddr()
 			if addr == "" {
 				continue
@@ -453,7 +714,7 @@ func (c *Cluster) probeLoop() {
 }
 
 func (c *Cluster) probe(addr string) (ok, degraded bool) {
-	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeInterval)
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/healthz", nil)
 	if err != nil {
@@ -490,8 +751,12 @@ type tryResult struct {
 // retryable reports whether another replica might do better: transport
 // errors, 5xx, and 429 (that replica is saturated; the ring successor
 // may not be). 4xx client faults and 504 (the deadline is spent either
-// way) are final.
+// way) are final, as are a vanished client and a spent request
+// deadline — nobody is waiting for a second try.
 func (r tryResult) retryable() bool {
+	if errors.Is(r.err, ErrClientGone) || errors.Is(r.err, context.DeadlineExceeded) {
+		return false
+	}
 	return r.err != nil || r.status >= 500 || r.status == http.StatusTooManyRequests
 }
 
@@ -502,9 +767,14 @@ func (c *Cluster) route(ctx context.Context, key string, body []byte) tryResult 
 	if len(ids) == 0 {
 		return tryResult{err: ErrNoReplica}
 	}
-	cands := make([]*member, len(ids))
-	for i, id := range ids {
-		cands[i] = c.members[id]
+	cands := make([]*member, 0, len(ids))
+	for _, id := range ids {
+		if m := c.memberByID(id); m != nil {
+			cands = append(cands, m)
+		}
+	}
+	if len(cands) == 0 {
+		return tryResult{err: ErrNoReplica}
 	}
 
 	// Load-aware spill: the ring primary leads unless its breaker is
@@ -564,6 +834,10 @@ func (c *Cluster) route(ctx context.Context, key string, body []byte) tryResult 
 // attempt posts body to one member with the per-try timeout, recording
 // the outcome in its breaker. Every attempt call must be preceded by
 // exactly one Allow() on the member (half-open probe accounting).
+// Transport errors are classified before they reach the breaker: a
+// failure caused by the requesting client (cancel, disconnect) or by
+// the request deadline expiring is forgiven — the replica did nothing
+// wrong, and counting it would let misbehaving clients trip breakers.
 func (c *Cluster) attempt(ctx context.Context, m *member, body []byte) tryResult {
 	addr := m.currentAddr()
 	if addr == "" {
@@ -580,20 +854,46 @@ func (c *Cluster) attempt(ctx context.Context, m *member, body []byte) tryResult
 		return tryResult{err: err}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate the remaining request deadline so the replica can bound
+	// its own work (batching window, queue wait) to time someone is
+	// still waiting for.
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			req.Header.Set(serve.DeadlineHeader, fmt.Sprintf("%d", ms))
+		}
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
-		m.breaker.Record(false)
-		return tryResult{err: err}
+		return c.classifyTransportErr(ctx, m, err)
 	}
 	b, rerr := io.ReadAll(io.LimitReader(resp.Body, serve.MaxBodyBytes+1))
 	resp.Body.Close()
 	if rerr != nil {
-		m.breaker.Record(false)
-		return tryResult{err: rerr}
+		return c.classifyTransportErr(ctx, m, rerr)
 	}
 	res := tryResult{status: resp.StatusCode, body: b}
 	m.breaker.Record(!res.retryable())
 	return res
+}
+
+// classifyTransportErr decides whose fault a failed attempt was. Parent
+// context canceled → the client went away (ErrClientGone, forgiven);
+// parent deadline expired → the request ran out of time across the
+// fleet, not on this member (forgiven); anything else — per-try
+// timeout, connection refused/reset, malformed response — is the
+// replica's problem and feeds its breaker.
+func (c *Cluster) classifyTransportErr(ctx context.Context, m *member, err error) tryResult {
+	switch ctx.Err() {
+	case context.Canceled:
+		m.breaker.Forgive()
+		mClientGone.Inc()
+		return tryResult{err: fmt.Errorf("%w: %v", ErrClientGone, err)}
+	case context.DeadlineExceeded:
+		m.breaker.Forgive()
+		return tryResult{err: fmt.Errorf("%w: %v", context.DeadlineExceeded, err)}
+	}
+	m.breaker.Record(false)
+	return tryResult{err: err}
 }
 
 // hedged races the primary against a delayed second request to the next
@@ -677,12 +977,12 @@ func (c *Cluster) refundRetryToken() { c.retryTokens.Add(1000) }
 // everything else stays put), requests in flight to it finish within
 // ctx, then the replica shuts down. The member is not restarted.
 func (c *Cluster) DrainMember(ctx context.Context, id int) error {
-	if id < 0 || id >= len(c.members) {
+	m := c.memberByID(id)
+	if m == nil {
 		return fmt.Errorf("cluster: no member %d", id)
 	}
-	m := c.members[id]
 	m.mu.Lock()
-	if m.state != stateUp {
+	if m.state != stateUp && m.state != stateSuspect {
 		st := m.state
 		m.mu.Unlock()
 		return fmt.Errorf("cluster: member %d is %s, not up", id, st)
@@ -732,7 +1032,7 @@ func (c *Cluster) Shutdown(ctx context.Context) error {
 		case <-ctx.Done():
 		}
 
-		for _, m := range c.members {
+		for _, m := range c.memberList() {
 			m.mu.Lock()
 			m.removed = true
 			rep := m.rep
@@ -751,35 +1051,47 @@ func (c *Cluster) Shutdown(ctx context.Context) error {
 
 // MemberStatus is one member's externally visible state.
 type MemberStatus struct {
-	ID       int    `json:"id"`
-	State    string `json:"state"`
-	Addr     string `json:"addr,omitempty"`
-	Restarts int    `json:"restarts"`
-	Strikes  int    `json:"strikes,omitempty"`
-	Breaker  string `json:"breaker"`
-	InFlight int64  `json:"in_flight"`
-	Degraded bool   `json:"degraded,omitempty"`
+	ID       int     `json:"id"`
+	State    string  `json:"state"`
+	Addr     string  `json:"addr,omitempty"`
+	Remote   bool    `json:"remote,omitempty"`
+	Weight   float64 `json:"weight"`
+	Restarts int     `json:"restarts"`
+	Strikes  int     `json:"strikes,omitempty"`
+	Breaker  string  `json:"breaker"`
+	InFlight int64   `json:"in_flight"`
+	Degraded bool    `json:"degraded,omitempty"`
+	// Suspicion is the failure-detector level for remote members:
+	// elapsed heartbeat silence in learned inter-arrival units.
+	Suspicion float64 `json:"suspicion,omitempty"`
 }
 
 // Members reports every member's status.
 func (c *Cluster) Members() []MemberStatus {
-	out := make([]MemberStatus, len(c.members))
-	for i, m := range c.members {
+	list := c.memberList()
+	now := time.Now()
+	out := make([]MemberStatus, len(list))
+	for i, m := range list {
 		m.mu.Lock()
 		out[i] = MemberStatus{
 			ID:       m.id,
 			State:    m.state.String(),
 			Addr:     m.addr,
+			Remote:   m.remote,
+			Weight:   m.weight,
 			Restarts: m.gen,
 			Strikes:  m.strikes,
 			Breaker:  m.breaker.State().String(),
 			InFlight: m.inflight.Load(),
 			Degraded: m.degraded.Load(),
 		}
-		if m.state != stateUp {
+		if m.state != stateUp && m.state != stateSuspect {
 			out[i].Addr = ""
 		}
 		m.mu.Unlock()
+		if m.sus != nil {
+			out[i].Suspicion = m.sus.level(now)
+		}
 	}
 	return out
 }
@@ -865,8 +1177,19 @@ func (c *Cluster) handlePredict(w http.ResponseWriter, r *http.Request) {
 
 	res := c.route(ctx, key, body)
 	if res.err != nil {
-		outcome = "unavailable"
-		writeError(w, http.StatusServiceUnavailable, fmt.Sprintf("%v: %v", ErrNoReplica, res.err))
+		switch {
+		case errors.Is(res.err, ErrClientGone):
+			// Nobody is listening; the status code exists for logs and
+			// outcome metrics only (nginx's 499 convention).
+			outcome = "client_gone"
+			writeError(w, StatusClientClosedRequest, res.err.Error())
+		case errors.Is(res.err, context.DeadlineExceeded):
+			outcome = "timeout"
+			writeError(w, http.StatusGatewayTimeout, res.err.Error())
+		default:
+			outcome = "unavailable"
+			writeError(w, http.StatusServiceUnavailable, fmt.Sprintf("%v: %v", ErrNoReplica, res.err))
+		}
 		return
 	}
 	if res.status != http.StatusOK {
@@ -896,7 +1219,7 @@ func (c *Cluster) handleObserve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var res observeResult
-	for _, m := range c.members {
+	for _, m := range c.memberList() {
 		addr := m.currentAddr()
 		if addr == "" {
 			continue
@@ -949,10 +1272,20 @@ func (c *Cluster) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Draining:   c.draining.Load(),
 		Members:    c.Members(),
 	}
+	// Desired capacity counts members that should be serving: drained
+	// and crash-looped slots are gone on purpose, not missing.
+	desired := 0
+	for _, m := range c.memberList() {
+		m.mu.Lock()
+		if !m.removed && m.state != stateFailed {
+			desired++
+		}
+		m.mu.Unlock()
+	}
 	switch {
 	case h.ReplicasUp == 0:
 		h.Status = "down"
-	case h.ReplicasUp < len(c.members):
+	case h.ReplicasUp < desired:
 		h.Status = "degraded"
 	default:
 		h.Status = "ok"

@@ -22,6 +22,7 @@ type fakeReplica struct {
 	ts      *httptest.Server
 	hits    atomic.Int64 // /v1/predict requests served
 	fail    atomic.Bool  // respond 500 to predicts
+	hfail   atomic.Bool  // respond 500 to health probes (silences heartbeats)
 	stallMS atomic.Int64 // delay predicts by this many ms
 	done    chan struct{}
 	once    sync.Once
@@ -51,6 +52,10 @@ func newFakeReplica(id, gen int) *fakeReplica {
 		fmt.Fprintf(w, `{"drifted":false,"trust":"fresh"}`)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if f.hfail.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
 		fmt.Fprintf(w, `{"status":"ok","trust":"fresh"}`)
 	})
 	f.ts = httptest.NewServer(mux)
@@ -374,6 +379,50 @@ func TestClusterHedgingBeatsStalledPrimary(t *testing.T) {
 	}
 	if elapsed > time.Second {
 		t.Fatalf("hedged predict took %v — rode out the full stall instead of hedging", elapsed)
+	}
+}
+
+// TestClusterClientGoneForgiven: a client that cancels mid-request
+// produces a typed ErrClientGone outcome and leaves the replica's
+// breaker untouched — misbehaving clients must not be able to trip
+// breakers and evict healthy replicas.
+func TestClusterClientGoneForgiven(t *testing.T) {
+	c, fl, front := newTestCluster(t, 1, func(cfg *Config) {
+		cfg.ProbeInterval = time.Hour // only request outcomes feed the breaker
+		cfg.Breaker = BreakerConfig{MinVolume: 2, TripRate: 0.01, Cooldown: time.Hour}
+	})
+	fl.current(0).stallMS.Store(200)
+
+	for i := 0; i < 10; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			front.URL+"/v1/predict", strings.NewReader(predictBody(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		errc := make(chan error, 1)
+		go func() {
+			_, err := front.Client().Do(req)
+			errc <- err
+		}()
+		time.Sleep(10 * time.Millisecond) // let the request reach the replica
+		cancel()
+		if err := <-errc; err == nil {
+			t.Fatal("canceled request returned a response")
+		}
+	}
+
+	m := c.memberByID(0)
+	if vol, _ := m.breaker.Stats(); vol != 0 {
+		t.Fatalf("breaker volume %d after client cancels, want 0 (forgiven)", vol)
+	}
+	if got := m.breaker.State(); got != Closed {
+		t.Fatalf("breaker state %v after client cancels, want closed", got)
+	}
+	// The replica is still routable for a patient client.
+	fl.current(0).stallMS.Store(0)
+	if status, _ := postPredict(t, front, predictBody(99)); status != 200 {
+		t.Fatalf("post-cancel predict status %d", status)
 	}
 }
 

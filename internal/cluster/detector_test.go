@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSuspicionStaysLowOnSchedule(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	s := newSuspicion(100*time.Millisecond, 4, t0)
+	now := t0
+	for i := 0; i < 50; i++ {
+		now = now.Add(100 * time.Millisecond)
+		s.beat(now)
+		if s.suspect(now) {
+			t.Fatalf("on-schedule member suspect at beat %d (level %.2f)", i, s.level(now))
+		}
+	}
+	// One expected interval of silence is still on rhythm.
+	if s.suspect(now.Add(100 * time.Millisecond)) {
+		t.Fatal("one missed interval already suspect")
+	}
+	// Five missed intervals crosses the threshold of 4.
+	if !s.suspect(now.Add(500 * time.Millisecond)) {
+		t.Fatalf("five missed intervals not suspect (level %.2f)", s.level(now.Add(500*time.Millisecond)))
+	}
+}
+
+// TestSuspicionAdaptsToSlowRhythm: a member that always heartbeats
+// slowly earns a proportionally longer leash.
+func TestSuspicionAdaptsToSlowRhythm(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	s := newSuspicion(100*time.Millisecond, 4, t0)
+	now := t0
+	// Beats actually arrive every 300ms; the EWMA converges up.
+	for i := 0; i < 60; i++ {
+		now = now.Add(300 * time.Millisecond)
+		s.beat(now)
+	}
+	if s.suspect(now.Add(900 * time.Millisecond)) {
+		t.Fatalf("3 slow-rhythm intervals suspect after adaptation (level %.2f)",
+			s.level(now.Add(900*time.Millisecond)))
+	}
+	if !s.suspect(now.Add(2 * time.Second)) {
+		t.Fatal("prolonged silence never suspect after adaptation")
+	}
+}
+
+// TestSuspicionFloorBoundsSensitivity: a burst of rapid beats cannot
+// shrink the learned mean below half the configured interval, so a
+// single scheduling hiccup after the burst does not read as a failure.
+func TestSuspicionFloorBoundsSensitivity(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	s := newSuspicion(100*time.Millisecond, 4, t0)
+	now := t0
+	for i := 0; i < 200; i++ {
+		now = now.Add(time.Millisecond)
+		s.beat(now)
+	}
+	// 150ms of silence is 3 floor-intervals (floor 50ms) — level ≤ 3,
+	// under the threshold of 4 despite the 1ms observed rhythm.
+	if s.suspect(now.Add(150 * time.Millisecond)) {
+		t.Fatalf("floored detector suspect after one hiccup (level %.2f)",
+			s.level(now.Add(150*time.Millisecond)))
+	}
+}
+
+// TestSuspicionRecovery: a beat after a long silence resets the level;
+// the one huge gap bumps the EWMA but the detector keeps working.
+func TestSuspicionRecovery(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	s := newSuspicion(100*time.Millisecond, 4, t0)
+	now := t0
+	for i := 0; i < 20; i++ {
+		now = now.Add(100 * time.Millisecond)
+		s.beat(now)
+	}
+	// Partition: 5 seconds of silence.
+	now = now.Add(5 * time.Second)
+	if !s.suspect(now) {
+		t.Fatal("5s of silence not suspect")
+	}
+	// Heal: the next beat clears the suspicion immediately.
+	s.beat(now)
+	if s.suspect(now.Add(10 * time.Millisecond)) {
+		t.Fatal("member still suspect right after a fresh beat")
+	}
+	// Out-of-order or duplicate timestamps are ignored, not counted as
+	// negative gaps.
+	s.beat(now.Add(-time.Second))
+	if got := s.level(now.Add(100 * time.Millisecond)); got < 0 {
+		t.Fatalf("negative suspicion level %.2f", got)
+	}
+}

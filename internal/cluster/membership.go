@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Membership keeps a cluster's remote member set in sync with an
+// external source of truth — a static members file or a DNS name —
+// without restarts. Reloads are diffs, not rebuilds: a new address
+// joins via AddRemote (only its ring points appear), a vanished
+// address drains gracefully (in-flight requests finish; its keys remap
+// to ring successors), and a weight change moves only that member's
+// points. The bounded-remap property of the weighted ring therefore
+// holds across reloads: changing one member never reshuffles
+// bystanders' keys.
+
+// MemberSpec is one entry in a members file: where the replica is and
+// how much of the keyspace it should own.
+type MemberSpec struct {
+	Addr   string  `json:"addr"`
+	Weight float64 `json:"weight,omitempty"` // 0 → 1
+}
+
+// membersFile is the on-disk format:
+//
+//	{"members": [{"addr": "10.0.0.5:8080", "weight": 2}, ...]}
+type membersFile struct {
+	Members []MemberSpec `json:"members"`
+}
+
+// ParseMembers decodes and validates a members-file payload. Weights
+// default to 1; duplicate or malformed addresses are errors (a typo'd
+// fleet definition should fail loudly at load time, not route oddly).
+func ParseMembers(data []byte) ([]MemberSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var f membersFile
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("cluster: members file: %w", err)
+	}
+	seen := make(map[string]bool, len(f.Members))
+	for i := range f.Members {
+		m := &f.Members[i]
+		if err := validateMemberAddr(m.Addr); err != nil {
+			return nil, err
+		}
+		if seen[m.Addr] {
+			return nil, fmt.Errorf("cluster: members file lists %s twice", m.Addr)
+		}
+		seen[m.Addr] = true
+		if m.Weight < 0 {
+			return nil, fmt.Errorf("cluster: member %s weight %g must not be negative", m.Addr, m.Weight)
+		}
+		if m.Weight == 0 {
+			m.Weight = 1
+		}
+	}
+	return f.Members, nil
+}
+
+// LoadMembersFile reads and parses a members file.
+func LoadMembersFile(path string) ([]MemberSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseMembers(data)
+}
+
+// DNSSource builds a membership fetcher that resolves name and pairs
+// every A/AAAA answer with port at weight 1 — the common "headless
+// service" deployment where DNS is the fleet registry and all hosts
+// are equal. Answers are sorted so a stable DNS view yields a stable
+// member set.
+func DNSSource(name, port string) func(context.Context) ([]MemberSpec, error) {
+	return func(ctx context.Context) ([]MemberSpec, error) {
+		hosts, err := net.DefaultResolver.LookupHost(ctx, name)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: resolve %s: %w", name, err)
+		}
+		sort.Strings(hosts)
+		specs := make([]MemberSpec, 0, len(hosts))
+		for _, h := range hosts {
+			specs = append(specs, MemberSpec{Addr: net.JoinHostPort(h, port), Weight: 1})
+		}
+		return specs, nil
+	}
+}
+
+// FileSource builds a membership fetcher reading path on every call.
+func FileSource(path string) func(context.Context) ([]MemberSpec, error) {
+	return func(context.Context) ([]MemberSpec, error) {
+		return LoadMembersFile(path)
+	}
+}
+
+// MembershipConfig parameterizes a Membership manager.
+type MembershipConfig struct {
+	// Fetch produces the desired member set (FileSource / DNSSource /
+	// custom). Required.
+	Fetch func(context.Context) ([]MemberSpec, error)
+	// PollInterval is how often Fetch runs in Run. Zero selects 1s.
+	PollInterval time.Duration
+	// DrainTimeout bounds the graceful drain of a removed member before
+	// its connections are cut. Zero selects 5s.
+	DrainTimeout time.Duration
+}
+
+// ReloadSummary reports what one membership reload changed.
+type ReloadSummary struct {
+	Added      int `json:"added"`
+	Removed    int `json:"removed"`
+	Reweighted int `json:"reweighted"`
+}
+
+func (s ReloadSummary) changed() bool { return s.Added+s.Removed+s.Reweighted > 0 }
+
+// Membership drives a cluster's remote member set from a
+// MembershipConfig.Fetch source. Goroutine-safe; Reload may be called
+// directly (e.g. from a SIGHUP handler) while Run polls.
+type Membership struct {
+	c   *Cluster
+	cfg MembershipConfig
+
+	mu     sync.Mutex
+	active map[string]int // addr → member id, as applied by this manager
+
+	drains sync.WaitGroup
+}
+
+// NewMembership builds a manager for c. Existing remote members are
+// unknown to it until a Reload lists them; local members are never
+// touched.
+func NewMembership(c *Cluster, cfg MembershipConfig) (*Membership, error) {
+	if cfg.Fetch == nil {
+		return nil, fmt.Errorf("cluster: MembershipConfig.Fetch is required")
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = time.Second
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	return &Membership{c: c, cfg: cfg, active: make(map[string]int)}, nil
+}
+
+// Reload fetches the desired member set and applies the diff against
+// what this manager previously applied: joins first (capacity arrives
+// before it is taken away), then reweights, then graceful drains of
+// vanished members in the background.
+func (ms *Membership) Reload(ctx context.Context) (ReloadSummary, error) {
+	specs, err := ms.cfg.Fetch(ctx)
+	if err != nil {
+		mReloads.With("error").Inc()
+		return ReloadSummary{}, err
+	}
+	sum, err := ms.apply(specs)
+	if err != nil {
+		mReloads.With("error").Inc()
+		return sum, err
+	}
+	if sum.changed() {
+		mReloads.With("applied").Inc()
+	} else {
+		mReloads.With("unchanged").Inc()
+	}
+	return sum, nil
+}
+
+func (ms *Membership) apply(specs []MemberSpec) (ReloadSummary, error) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	var sum ReloadSummary
+	desired := make(map[string]float64, len(specs))
+	for _, s := range specs {
+		w := s.Weight
+		if w == 0 {
+			w = 1
+		}
+		desired[s.Addr] = w
+	}
+
+	// Joins and reweights, in spec order: member ids follow the file,
+	// so two balancers reading the same fleet definition number their
+	// members identically and reload logs are reproducible.
+	for _, s := range specs {
+		addr, w := s.Addr, desired[s.Addr]
+		if id, ok := ms.active[addr]; ok {
+			if m := ms.c.memberByID(id); m != nil && m.getWeight() != w {
+				if err := ms.c.ReweightMember(id, w); err != nil {
+					return sum, err
+				}
+				sum.Reweighted++
+			}
+			continue
+		}
+		id, err := ms.c.AddRemote(addr, w)
+		if err != nil {
+			return sum, err
+		}
+		ms.active[addr] = id
+		sum.Added++
+	}
+
+	// Drains, in the background so a slow member cannot stall the
+	// reload (its keys already remapped the moment DrainMember ran the
+	// ring update; only connection teardown is deferred).
+	for addr, id := range ms.active {
+		if _, ok := desired[addr]; ok {
+			continue
+		}
+		delete(ms.active, addr)
+		sum.Removed++
+		ms.drains.Add(1)
+		go func(id int) {
+			defer ms.drains.Done()
+			dctx, cancel := context.WithTimeout(context.Background(), ms.cfg.DrainTimeout)
+			defer cancel()
+			_ = ms.c.DrainMember(dctx, id)
+		}(id)
+	}
+	return sum, nil
+}
+
+// Run polls Fetch every PollInterval until stop closes, then waits for
+// outstanding drains. Fetch errors are counted (cluster_membership_
+// reloads_total{outcome="error"}) and retried next tick — a transient
+// DNS failure must not empty the fleet; the last good member set keeps
+// serving.
+func (ms *Membership) Run(stop <-chan struct{}) {
+	t := time.NewTicker(ms.cfg.PollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			ms.drains.Wait()
+			return
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), ms.cfg.PollInterval)
+			_, _ = ms.Reload(ctx)
+			cancel()
+		}
+	}
+}

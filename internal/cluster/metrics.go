@@ -23,4 +23,16 @@ var (
 		"replicas currently up and in the routing ring")
 	mRouteSeconds = obs.NewHistogram(obs.MetricClusterRouteSeconds,
 		"end-to-end routed request latency in seconds", obs.DefaultSecondsBuckets())
+
+	// Multi-host membership and failure detection.
+	mSuspects = obs.NewCounter(obs.MetricClusterSuspects,
+		"remote members suspected by the heartbeat failure detector")
+	mRejoins = obs.NewCounter(obs.MetricClusterRejoins,
+		"suspect members readmitted to the ring after a fresh heartbeat")
+	mMembersAdded = obs.NewCounter(obs.MetricClusterMembersAdded,
+		"remote members joined to the fleet")
+	mClientGone = obs.NewCounter(obs.MetricClusterClientGone,
+		"attempts abandoned because the requesting client vanished")
+	mReloads = obs.NewCounterVec(obs.MetricClusterReloads,
+		"membership file reloads, by outcome", "outcome")
 )

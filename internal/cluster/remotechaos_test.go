@@ -1,0 +1,358 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"contention/internal/faults"
+	"contention/internal/netchaos"
+)
+
+// remoteChaosSpec is the remote gate's fault schedule: seeded, so a
+// failing run is re-playable bit-for-bit against the same wire faults.
+func remoteChaosSpec() faults.NetChaosSpec {
+	return faults.NetChaosSpec{
+		Seed:           1996, // Figueira–Berman, HPDC '96
+		Links:          3,
+		Duration:       3 * time.Second,
+		LatencyEvery:   500 * time.Millisecond,
+		LatencyFor:     200 * time.Millisecond,
+		LatencyAdd:     20 * time.Millisecond,
+		ResetEvery:     700 * time.Millisecond,
+		StallEvery:     900 * time.Millisecond,
+		StallFor:       120 * time.Millisecond,
+		PartitionEvery: 1200 * time.Millisecond,
+		PartitionFor:   350 * time.Millisecond,
+	}
+}
+
+// buildContentiond compiles the daemon into a per-test dir. The child
+// processes are the real binary — the remote gate exercises the same
+// artifact operators deploy, not an in-process stand-in.
+func buildContentiond(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "contentiond")
+	cmd := exec.Command("go", "build", "-o", bin, "contention/cmd/contentiond")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build contentiond: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestRemoteChaosGate is the multi-host SLO gate: real contentiond
+// child processes joined as remote members, each reached through a
+// netchaos proxy that injects a seeded schedule of latency, resets,
+// stalls, and partitions mid-load. The fleet must hold ≥99% success,
+// never go fully dark in any 250ms bucket, mark partitioned members
+// suspect via the heartbeat failure detector, and readmit them after
+// the partition heals.
+func TestRemoteChaosGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("remote chaos gate builds a binary and runs seconds of wall-clock load")
+	}
+	spec := remoteChaosSpec()
+	plan, err := faults.PlanNetChaos(spec)
+	if err != nil {
+		t.Fatalf("PlanNetChaos: %v", err)
+	}
+	t.Logf("net chaos plan: %v over %v", faults.NetChaosSummary(plan), spec.Duration)
+
+	bin := buildContentiond(t)
+	factory := ExecFactory(bin)
+	daemons := make([]Replica, spec.Links)
+	proxies := make([]*netchaos.Proxy, spec.Links)
+	for i := range daemons {
+		rep, err := factory(100+i, 0)
+		if err != nil {
+			t.Fatalf("spawn contentiond %d: %v", i, err)
+		}
+		daemons[i] = rep
+		t.Cleanup(rep.Kill)
+		p, err := netchaos.New(rep.Addr())
+		if err != nil {
+			t.Fatalf("proxy %d: %v", i, err)
+		}
+		proxies[i] = p
+		t.Cleanup(func() { p.Close() })
+	}
+
+	c, err := New(Config{
+		Seed:              spec.Seed,
+		MaxTries:          4,
+		RetryBudget:       1.0,
+		HedgeDelay:        40 * time.Millisecond,
+		PerTryTimeout:     400 * time.Millisecond,
+		Timeout:           3 * time.Second,
+		MaxInFlight:       64,
+		MaxQueue:          256,
+		ProbeInterval:     25 * time.Millisecond,
+		HeartbeatInterval: 25 * time.Millisecond,
+		SuspectAfter:      4,
+		Breaker:           BreakerConfig{Cooldown: 100 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	for i, p := range proxies {
+		if _, err := c.AddRemote(p.Addr(), 1); err != nil {
+			t.Fatalf("AddRemote %d: %v", i, err)
+		}
+	}
+	front := httptest.NewServer(c.Handler())
+	defer front.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = c.Shutdown(ctx)
+	}()
+
+	// Detector watcher: sample member states so the gate can assert the
+	// suspect → rejoin lifecycle actually happened.
+	var suspectSeen atomic.Bool
+	watchStop := make(chan struct{})
+	var watchWG sync.WaitGroup
+	watchWG.Add(1)
+	go func() {
+		defer watchWG.Done()
+		for {
+			select {
+			case <-watchStop:
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+			for _, m := range c.Members() {
+				if m.State == "suspect" {
+					suspectSeen.Store(true)
+				}
+			}
+		}
+	}()
+
+	// Load: closed-loop workers over a small key corpus.
+	const workers = 12
+	bodies := make([]string, 8)
+	for i := range bodies {
+		bodies[i] = fmt.Sprintf(
+			`{"kind":"comp","dcomp":%d,"contenders":[{"comm_fraction":0.%d,"msg_words":%d}]}`,
+			1+i%3, 1+i%8, 100*(i+1))
+	}
+	runFor := spec.Duration + 500*time.Millisecond
+	const bucketWidth = 250 * time.Millisecond
+	nBuckets := int(runFor/bucketWidth) + 1
+	var (
+		total, succ atomic.Int64
+		bucketTotal = make([]atomic.Int64, nBuckets)
+		bucketSucc  = make([]atomic.Int64, nBuckets)
+		failures    sync.Map
+	)
+	countFailure := func(key string) {
+		v, _ := failures.LoadOrStore(key, new(atomic.Int64))
+		v.(*atomic.Int64).Add(1)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 5 * time.Second}
+			defer client.CloseIdleConnections()
+			for i := 0; ; i++ {
+				elapsed := time.Since(start)
+				if elapsed >= runFor {
+					return
+				}
+				bucket := int(elapsed / bucketWidth)
+				total.Add(1)
+				bucketTotal[bucket].Add(1)
+				resp, err := client.Post(front.URL+"/v1/predict", "application/json",
+					strings.NewReader(bodies[(w+i)%len(bodies)]))
+				if err != nil {
+					countFailure("transport: " + err.Error())
+					continue
+				}
+				_ = resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					succ.Add(1)
+					bucketSucc[bucket].Add(1)
+				} else {
+					countFailure(fmt.Sprintf("status %d", resp.StatusCode))
+				}
+			}
+		}(w)
+	}
+
+	// Applier: replay the plan against wall-clock offsets.
+	applied := map[string]int{}
+	for _, e := range plan {
+		if d := e.At - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		p := proxies[e.Target]
+		switch e.Kind {
+		case faults.NetChaosLatency:
+			p.SetLatency(e.Latency)
+			time.AfterFunc(e.For, func() { p.SetLatency(0) })
+		case faults.NetChaosReset:
+			p.Reset()
+		case faults.NetChaosStall:
+			p.Stall(e.For)
+		case faults.NetChaosPartition:
+			p.Partition()
+		case faults.NetChaosHeal:
+			p.Heal()
+		}
+		applied[e.Kind]++
+	}
+	wg.Wait()
+	t.Logf("applied: %v", applied)
+	if applied[faults.NetChaosPartition] == 0 {
+		t.Fatal("plan applied no partitions — the gate is not exercising failure detection")
+	}
+
+	// Straggler heals land after Duration; make sure every link is open
+	// before asserting recovery.
+	for _, p := range proxies {
+		p.Heal()
+		p.SetLatency(0)
+	}
+
+	// SLO: ≥99% success across the run.
+	tot, ok := total.Load(), succ.Load()
+	if tot == 0 {
+		t.Fatal("no requests issued")
+	}
+	rate := float64(ok) / float64(tot)
+	failSummary := ""
+	failures.Range(func(k, v any) bool {
+		failSummary += fmt.Sprintf(" [%v ×%d]", k, v.(*atomic.Int64).Load())
+		return true
+	})
+	t.Logf("requests: %d, success: %d (%.3f%%)%s", tot, ok, 100*rate, failSummary)
+	if rate < 0.99 {
+		t.Errorf("success rate %.3f%% < 99%%:%s", 100*rate, failSummary)
+	}
+
+	// Availability never hits zero: partitions are serialized by the
+	// plan, so some member is always reachable.
+	for i := 0; i < nBuckets; i++ {
+		bt, bs := bucketTotal[i].Load(), bucketSucc[i].Load()
+		if bt >= 20 && bs == 0 {
+			t.Errorf("availability hit zero in bucket %d (%d requests, 0 successes)", i, bt)
+		}
+	}
+
+	// The failure detector did its job: partitioned members were marked
+	// suspect mid-run, and every member is back after heal.
+	close(watchStop)
+	watchWG.Wait()
+	if !suspectSeen.Load() {
+		t.Error("no member was ever marked suspect despite partitions")
+	}
+	waitFor(t, "all members rejoined after heal", 5*time.Second, func() bool {
+		return c.UpCount() == spec.Links
+	})
+	for _, m := range c.Members() {
+		if m.State != "up" {
+			t.Errorf("member %d state %q after heal window", m.ID, m.State)
+		}
+	}
+
+	// Service is still correct after the storm.
+	status, out := postPredict(t, front, bodies[0])
+	if status != http.StatusOK || out["value"] == nil {
+		t.Fatalf("post-chaos predict = %d %v", status, out)
+	}
+}
+
+// TestMembershipReloadRemapBound: a reload that reweights one member
+// moves at most that member's ownership-share delta of keys — far
+// under the 2/N acceptance bound — and never moves a key between two
+// bystanders.
+func TestMembershipReloadRemapBound(t *testing.T) {
+	rf := newRemoteFleet(t, 3)
+	// Slow heartbeats + a sky-high suspicion threshold: this test
+	// measures ring remap arithmetic, and a scheduling hiccup on a
+	// loaded CI box must not let the failure detector pull a member
+	// (and its keys) out from under the ownership snapshots.
+	c, _ := newRemoteCluster(t, func(cfg *Config) {
+		cfg.ProbeInterval = time.Second
+		cfg.HeartbeatInterval = time.Second
+		cfg.SuspectAfter = 1e9
+	})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "members.json")
+	writeMembers := func(content string) {
+		t.Helper()
+		if err := writeFileAtomic(path, content); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeMembers(rf.membersJSON(1, 1, 1))
+	ms, err := NewMembership(c, MembershipConfig{Fetch: FileSource(path)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ms.Reload(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	const keys = 3000
+	owner := func() []int {
+		r := c.ring.Load()
+		out := make([]int, keys)
+		for i := range out {
+			ids := r.Sequence(fmt.Sprintf("key-%d", i), 1)
+			if len(ids) == 0 {
+				t.Fatal("empty ring")
+			}
+			out[i] = ids[0]
+		}
+		return out
+	}
+	before := owner()
+
+	// Reweight member 0 from 1 to 2.
+	writeMembers(rf.membersJSON(2, 1, 1))
+	sum, err := ms.Reload(context.Background())
+	if err != nil || sum.Reweighted != 1 {
+		t.Fatalf("reload: %+v, %v", sum, err)
+	}
+	after := owner()
+
+	n := 3
+	moved := 0
+	for i := range before {
+		if before[i] != after[i] {
+			moved++
+			// Every move involves the reweighted member.
+			if before[i] != 0 && after[i] != 0 {
+				t.Fatalf("key %d moved between bystanders %d → %d", i, before[i], after[i])
+			}
+		}
+	}
+	if frac, bound := float64(moved)/keys, 2.0/float64(n); frac >= bound {
+		t.Fatalf("reload remapped %.1f%% of keys, want < %.1f%%", 100*frac, 100*bound)
+	}
+}
+
+func writeFileAtomic(path, content string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(content), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -32,13 +32,21 @@ import (
 // bound) while membership changes stay O(vnodes·log).
 const DefaultVnodes = 128
 
-// Ring is an immutable consistent-hash ring over replica ids. Mutation
-// returns a new ring (With/Without), so a router can swap rings
-// atomically while lookups proceed lock-free on the old one.
+// Ring is an immutable weighted consistent-hash ring over replica ids.
+// Mutation returns a new ring (With/WithWeight/Without), so a router can
+// swap rings atomically while lookups proceed lock-free on the old one.
+//
+// Weights express unequal hosts: a member of weight w gets ~w·vnodes
+// points, so its keyspace share is proportional to its weight. A member
+// carries the same vnode labels at every weight — weight w covers vnode
+// indices [0, w·vnodes) — so reweighting only adds or removes that
+// member's highest-index points: keys move to or from the reweighted
+// member alone, never between bystanders.
 type Ring struct {
-	vnodes int
-	points []ringPoint // sorted by hash
-	ids    []int       // distinct member ids, insertion order
+	vnodes  int
+	points  []ringPoint // sorted by hash
+	ids     []int       // distinct member ids, insertion order
+	weights []float64   // parallel to ids
 }
 
 type ringPoint struct {
@@ -59,25 +67,64 @@ func NewRing(vnodes int, ids ...int) *Ring {
 	return r
 }
 
-// With returns a ring that additionally contains id (r itself if id is
-// already a member).
+// With returns a ring that additionally contains id at weight 1 (r
+// itself if id is already a member, at whatever weight it has).
 func (r *Ring) With(id int) *Ring {
 	for _, e := range r.ids {
 		if e == id {
 			return r
 		}
 	}
-	nr := &Ring{
-		vnodes: r.vnodes,
-		ids:    append(append(make([]int, 0, len(r.ids)+1), r.ids...), id),
-		points: append(append(make([]ringPoint, 0, len(r.points)+r.vnodes), r.points...), vnodePoints(id, r.vnodes)...),
+	return r.WithWeight(id, 1)
+}
+
+// WithWeight returns a ring containing id at the given weight, joining
+// or reweighting as needed (r itself if id is already at that weight).
+// Negative weights clamp to zero; a zero-weight member stays on the
+// member list but owns no points, so it is never looked up or returned
+// in a candidate sequence.
+func (r *Ring) WithWeight(id int, weight float64) *Ring {
+	if weight < 0 {
+		weight = 0
 	}
-	sort.Slice(nr.points, func(i, j int) bool {
-		if nr.points[i].h != nr.points[j].h {
-			return nr.points[i].h < nr.points[j].h
+	for i, e := range r.ids {
+		if e == id {
+			if r.weights[i] == weight {
+				return r
+			}
+			return r.reweighted(i, weight)
 		}
-		return nr.points[i].id < nr.points[j].id
-	})
+	}
+	nr := &Ring{
+		vnodes:  r.vnodes,
+		ids:     append(append(make([]int, 0, len(r.ids)+1), r.ids...), id),
+		weights: append(append(make([]float64, 0, len(r.weights)+1), r.weights...), weight),
+		points:  append(append(make([]ringPoint, 0, len(r.points)+r.vnodes), r.points...), vnodePoints(id, r.vnodes, weight)...),
+	}
+	nr.sortPoints()
+	return nr
+}
+
+// reweighted rebuilds member slot i's points at the new weight. Vnode
+// labels are stable across weights, so the surviving points keep their
+// positions: only the added (weight up) or removed (weight down) points
+// remap keys, and only to or from this member.
+func (r *Ring) reweighted(i int, weight float64) *Ring {
+	id := r.ids[i]
+	nr := &Ring{
+		vnodes:  r.vnodes,
+		ids:     append([]int(nil), r.ids...),
+		weights: append([]float64(nil), r.weights...),
+	}
+	nr.weights[i] = weight
+	nr.points = make([]ringPoint, 0, len(r.points))
+	for _, p := range r.points {
+		if p.id != id {
+			nr.points = append(nr.points, p)
+		}
+	}
+	nr.points = append(nr.points, vnodePoints(id, r.vnodes, weight)...)
+	nr.sortPoints()
 	return nr
 }
 
@@ -96,12 +143,13 @@ func (r *Ring) Without(id int) *Ring {
 		return r
 	}
 	nr := &Ring{vnodes: r.vnodes}
-	for _, e := range r.ids {
+	for i, e := range r.ids {
 		if e != id {
 			nr.ids = append(nr.ids, e)
+			nr.weights = append(nr.weights, r.weights[i])
 		}
 	}
-	nr.points = make([]ringPoint, 0, len(r.points)-r.vnodes)
+	nr.points = make([]ringPoint, 0, len(r.points))
 	for _, p := range r.points {
 		if p.id != id {
 			nr.points = append(nr.points, p)
@@ -110,9 +158,29 @@ func (r *Ring) Without(id int) *Ring {
 	return nr
 }
 
-// vnodePoints hashes id's virtual nodes.
-func vnodePoints(id, vnodes int) []ringPoint {
-	pts := make([]ringPoint, vnodes)
+func (r *Ring) sortPoints() {
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].h != r.points[j].h {
+			return r.points[i].h < r.points[j].h
+		}
+		return r.points[i].id < r.points[j].id
+	})
+}
+
+// vnodeCount is the point count for one member: weight·vnodes, rounded,
+// with any positive weight guaranteed at least one point so a lightly
+// weighted member still owns keyspace.
+func vnodeCount(vnodes int, weight float64) int {
+	n := int(weight*float64(vnodes) + 0.5)
+	if n == 0 && weight > 0 {
+		n = 1
+	}
+	return n
+}
+
+// vnodePoints hashes id's virtual nodes for the given weight.
+func vnodePoints(id, vnodes int, weight float64) []ringPoint {
+	pts := make([]ringPoint, vnodeCount(vnodes, weight))
 	for v := range pts {
 		pts[v] = ringPoint{h: hash64(fmt.Sprintf("replica-%d/vnode-%d", id, v)), id: id}
 	}
@@ -140,6 +208,16 @@ func (r *Ring) Size() int { return len(r.ids) }
 
 // IDs returns the member ids (copy, insertion order).
 func (r *Ring) IDs() []int { return append([]int(nil), r.ids...) }
+
+// Weight reports id's weight (0 if absent).
+func (r *Ring) Weight(id int) float64 {
+	for i, e := range r.ids {
+		if e == id {
+			return r.weights[i]
+		}
+	}
+	return 0
+}
 
 // Lookup returns the member owning key, or -1 on an empty ring.
 func (r *Ring) Lookup(key string) int {

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -149,6 +150,112 @@ func TestRingSequence(t *testing.T) {
 		// n beyond membership truncates to the full membership.
 		if got := r.Sequence(k, 10); len(got) != 4 {
 			t.Fatalf("Sequence(%q, 10) returned %d ids, want 4", k, len(got))
+		}
+	}
+}
+
+// TestRingWeightedOwnership pins the weighted-balance property: each
+// member's keyspace share is proportional to its weight within 2x, for
+// weight spreads the fleet actually runs (unequal hosts up to 4:1).
+func TestRingWeightedOwnership(t *testing.T) {
+	keys := testKeys(13, 20000)
+	for _, weights := range [][]float64{
+		{1, 2},
+		{1, 1, 2},
+		{1, 2, 4},
+		{0.5, 1, 1, 2},
+	} {
+		r := NewRing(DefaultVnodes)
+		total := 0.0
+		for id, w := range weights {
+			r = r.WithWeight(id, w)
+			total += w
+		}
+		owners := ownership(r, keys)
+		for id, w := range weights {
+			fair := float64(len(keys)) * w / total
+			got := float64(owners[id])
+			if got < fair/2 || got > fair*2 {
+				t.Errorf("weights %v: replica %d owns %.0f keys, weighted fair share %.0f (outside [0.5x, 2x])",
+					weights, id, got, fair)
+			}
+		}
+	}
+}
+
+// TestRingReweightRemapsMinimally: changing one member's weight moves
+// keys only to or from that member (bystanders keep every key), and the
+// moved fraction is bounded by twice the member's share change.
+func TestRingReweightRemapsMinimally(t *testing.T) {
+	keys := testKeys(29, 20000)
+	const n = 4
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	before := NewRing(DefaultVnodes, ids...)
+	for _, newW := range []float64{2, 0.5} {
+		after := before.WithWeight(0, newW)
+		moved := 0
+		for _, k := range keys {
+			was, is := before.Lookup(k), after.Lookup(k)
+			if was == is {
+				continue
+			}
+			moved++
+			if was != 0 && is != 0 {
+				t.Fatalf("reweight(0, %g): key moved between bystanders %d -> %d", newW, was, is)
+			}
+			if newW > 1 && is != 0 {
+				t.Fatalf("reweight(0, %g): weight increase moved a key away from member 0 (%d -> %d)", newW, was, is)
+			}
+			if newW < 1 && was != 0 {
+				t.Fatalf("reweight(0, %g): weight decrease moved a key toward member 0 (%d -> %d)", newW, was, is)
+			}
+		}
+		shareBefore := 1.0 / n
+		shareAfter := newW / (newW + n - 1)
+		bound := 2 * math.Abs(shareAfter-shareBefore) * float64(len(keys))
+		if float64(moved) >= bound {
+			t.Errorf("reweight(0, %g) remapped %d of %d keys, want < %.0f", newW, moved, len(keys), bound)
+		}
+		if moved == 0 {
+			t.Errorf("reweight(0, %g) remapped nothing", newW)
+		}
+	}
+}
+
+// TestRingZeroWeightOwnsNothing: a zero-weight member stays on the
+// member list but owns no keys and never appears in a candidate
+// sequence; restoring its weight brings it back.
+func TestRingZeroWeightOwnsNothing(t *testing.T) {
+	keys := testKeys(41, 5000)
+	r := NewRing(DefaultVnodes, 0, 1, 2)
+	zeroed := r.WithWeight(1, 0)
+	if zeroed.Size() != 3 {
+		t.Fatalf("zero-weight member left the member list (size %d)", zeroed.Size())
+	}
+	for _, k := range keys {
+		if zeroed.Lookup(k) == 1 {
+			t.Fatalf("zero-weight member owns key %q", k)
+		}
+		for _, id := range zeroed.Sequence(k, 3) {
+			if id == 1 {
+				t.Fatalf("zero-weight member appears in candidate sequence for %q", k)
+			}
+		}
+	}
+	// Surviving members split the orphaned keys; nothing else moved.
+	for _, k := range keys {
+		was, is := r.Lookup(k), zeroed.Lookup(k)
+		if was != 1 && was != is {
+			t.Fatalf("zeroing member 1 remapped a bystander key %d -> %d", was, is)
+		}
+	}
+	restored := zeroed.WithWeight(1, 1)
+	for _, k := range keys {
+		if restored.Lookup(k) != r.Lookup(k) {
+			t.Fatal("restoring the weight did not restore the original routing")
 		}
 	}
 }

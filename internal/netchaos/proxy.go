@@ -1,0 +1,223 @@
+// Package netchaos is an in-process TCP chaos proxy: it sits between a
+// router and one remote replica and does to the byte stream what a bad
+// network does — added latency, mid-stream resets, stalls, and full
+// partitions — under explicit, instantaneous control. Paired with
+// faults.PlanNetChaos it gives chaos gates a deterministic network: the
+// plan is a pure function of one seed, the proxy applies each event the
+// moment the driver replays it, and nothing in the fault path depends
+// on kernel packet timing or external tooling (tc, iptables), so the
+// same gate runs identically on a laptop and in CI.
+package netchaos
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// copyBuf is the relay chunk size: small enough that latency and stall
+// shaping get a control point at least once per few KB, large enough
+// not to dominate CPU.
+const copyBuf = 8 << 10
+
+// Proxy is one shaped link. Create with New, point clients at Addr,
+// drive faults with SetLatency / Stall / Reset / Partition / Heal.
+// All controls are goroutine-safe and take effect immediately.
+type Proxy struct {
+	target string
+	ln     net.Listener
+
+	latency    atomic.Int64 // one-way added delay, nanoseconds
+	stallUntil atomic.Int64 // unix nanos; byte flow frozen until then
+	parted     atomic.Bool
+
+	mu     sync.Mutex
+	conns  map[*conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// conn is one proxied client⇄target connection pair.
+type conn struct {
+	client, upstream *net.TCPConn
+	once             sync.Once
+}
+
+// sever tears both halves down. rst controls whether the client side
+// goes with a RST (SetLinger(0)) instead of a graceful FIN — resets and
+// partitions should look like failures, not like the server finishing.
+func (c *conn) sever(rst bool) {
+	c.once.Do(func() {
+		if rst {
+			_ = c.client.SetLinger(0)
+			_ = c.upstream.SetLinger(0)
+		}
+		_ = c.client.Close()
+		_ = c.upstream.Close()
+	})
+}
+
+// New starts a proxy for target (host:port) listening on a fresh
+// loopback port.
+func New(target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{target: target, ln: ln, conns: make(map[*conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's listen address; point the router here instead of
+// at the real replica.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Target is the address the proxy forwards to.
+func (p *Proxy) Target() string { return p.target }
+
+// SetLatency sets the added one-way delay applied to each relayed
+// chunk (0 clears).
+func (p *Proxy) SetLatency(d time.Duration) { p.latency.Store(int64(d)) }
+
+// Stall freezes byte flow in both directions for d without closing
+// anything: connections stay open, requests hang. Extends (never
+// shortens) any stall already in effect.
+func (p *Proxy) Stall(d time.Duration) {
+	until := time.Now().Add(d).UnixNano()
+	for {
+		cur := p.stallUntil.Load()
+		if cur >= until || p.stallUntil.CompareAndSwap(cur, until) {
+			return
+		}
+	}
+}
+
+// Reset RSTs every connection currently open through the proxy. New
+// connections still succeed — this is a transient network burp, not an
+// outage.
+func (p *Proxy) Reset() {
+	p.mu.Lock()
+	conns := make([]*conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.sever(true)
+	}
+}
+
+// Partition cuts the link: existing connections are severed with RST
+// and new ones are refused until Heal.
+func (p *Proxy) Partition() {
+	p.parted.Store(true)
+	p.Reset()
+}
+
+// Heal ends a partition.
+func (p *Proxy) Heal() { p.parted.Store(false) }
+
+// Partitioned reports whether the link is currently cut.
+func (p *Proxy) Partitioned() bool { return p.parted.Load() }
+
+// Close stops the listener and severs everything. The proxy cannot be
+// reused.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.Reset()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		cl, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		client := cl.(*net.TCPConn)
+		if p.parted.Load() {
+			// Refuse as a partition does: an immediate RST, not a
+			// polite close.
+			_ = client.SetLinger(0)
+			_ = client.Close()
+			continue
+		}
+		up, err := net.DialTimeout("tcp", p.target, time.Second)
+		if err != nil {
+			_ = client.SetLinger(0)
+			_ = client.Close()
+			continue
+		}
+		c := &conn{client: client, upstream: up.(*net.TCPConn)}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			c.sever(true)
+			continue
+		}
+		p.conns[c] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(2)
+		go p.relay(c, c.client, c.upstream)
+		go p.relay(c, c.upstream, c.client)
+	}
+}
+
+// relay copies src→dst in shaped chunks. When either direction dies the
+// whole pair is severed: half-open proxied connections would leak and
+// model nothing a routed HTTP request cares about.
+func (p *Proxy) relay(c *conn, src, dst *net.TCPConn) {
+	defer p.wg.Done()
+	defer func() {
+		c.sever(false)
+		p.mu.Lock()
+		delete(p.conns, c)
+		p.mu.Unlock()
+	}()
+	buf := make([]byte, copyBuf)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			p.shape()
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				return
+			}
+			// Propagate the half-close; the deferred sever finishes the
+			// teardown once the other direction drains.
+			_ = dst.CloseWrite()
+			return
+		}
+	}
+}
+
+// shape applies the current latency and stall settings to one chunk.
+func (p *Proxy) shape() {
+	if until := p.stallUntil.Load(); until > 0 {
+		if wait := time.Until(time.Unix(0, until)); wait > 0 {
+			time.Sleep(wait)
+		}
+	}
+	if d := time.Duration(p.latency.Load()); d > 0 {
+		time.Sleep(d)
+	}
+}

@@ -1,0 +1,189 @@
+package netchaos
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoServer answers each line with the same line.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				for sc.Scan() {
+					fmt.Fprintf(c, "%s\n", sc.Text())
+				}
+			}(c)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+func newTestProxy(t *testing.T) *Proxy {
+	t.Helper()
+	ln := echoServer(t)
+	p, err := New(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+// echoOnce dials through the proxy, sends one line, and returns the
+// answer (or an error).
+func echoOnce(p *Proxy, msg string) (string, error) {
+	c, err := net.DialTimeout("tcp", p.Addr(), time.Second)
+	if err != nil {
+		return "", err
+	}
+	defer c.Close()
+	_ = c.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := fmt.Fprintf(c, "%s\n", msg); err != nil {
+		return "", err
+	}
+	line, err := bufio.NewReader(c).ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSuffix(line, "\n"), nil
+}
+
+func TestProxyRelays(t *testing.T) {
+	p := newTestProxy(t)
+	got, err := echoOnce(p, "hello")
+	if err != nil {
+		t.Fatalf("echo through proxy: %v", err)
+	}
+	if got != "hello" {
+		t.Fatalf("echo = %q, want hello", got)
+	}
+}
+
+func TestProxyLatency(t *testing.T) {
+	p := newTestProxy(t)
+	p.SetLatency(50 * time.Millisecond)
+	start := time.Now()
+	if _, err := echoOnce(p, "slow"); err != nil {
+		t.Fatalf("echo with latency: %v", err)
+	}
+	// Request and response directions are each shaped once.
+	if elapsed := time.Since(start); elapsed < 90*time.Millisecond {
+		t.Fatalf("round trip %v with 2×50ms latency, want ≥90ms", elapsed)
+	}
+	p.SetLatency(0)
+	start = time.Now()
+	if _, err := echoOnce(p, "fast"); err != nil {
+		t.Fatalf("echo after clearing latency: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("round trip %v after clearing latency", elapsed)
+	}
+}
+
+func TestProxyStall(t *testing.T) {
+	p := newTestProxy(t)
+	p.Stall(150 * time.Millisecond)
+	start := time.Now()
+	if _, err := echoOnce(p, "stalled"); err != nil {
+		t.Fatalf("echo during stall: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Fatalf("round trip %v during a 150ms stall, want ≥100ms", elapsed)
+	}
+}
+
+func TestProxyResetSeversExistingConns(t *testing.T) {
+	p := newTestProxy(t)
+	c, err := net.DialTimeout("tcp", p.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_ = c.SetDeadline(time.Now().Add(2 * time.Second))
+	fmt.Fprintf(c, "ping\n")
+	if _, err := bufio.NewReader(c).ReadString('\n'); err != nil {
+		t.Fatalf("pre-reset echo: %v", err)
+	}
+	p.Reset()
+	// The severed connection must error out promptly.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := fmt.Fprintf(c, "dead?\n"); err != nil {
+			break
+		}
+		if _, err := bufio.NewReader(c).ReadString('\n'); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("connection survived Reset")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// New connections work: a reset is a burp, not an outage.
+	if got, err := echoOnce(p, "again"); err != nil || got != "again" {
+		t.Fatalf("post-reset echo: %q, %v", got, err)
+	}
+}
+
+func TestProxyPartitionAndHeal(t *testing.T) {
+	p := newTestProxy(t)
+	if _, err := echoOnce(p, "before"); err != nil {
+		t.Fatalf("pre-partition echo: %v", err)
+	}
+	p.Partition()
+	if !p.Partitioned() {
+		t.Fatal("Partitioned() false after Partition")
+	}
+	if _, err := echoOnce(p, "during"); err == nil {
+		t.Fatal("echo succeeded through a partition")
+	}
+	p.Heal()
+	// Heal is immediate; the next connection goes through.
+	if got, err := echoOnce(p, "after"); err != nil || got != "after" {
+		t.Fatalf("post-heal echo: %q, %v", got, err)
+	}
+}
+
+func TestProxyCloseIsIdempotent(t *testing.T) {
+	p := newTestProxy(t)
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := echoOnce(p, "closed"); err == nil {
+		t.Fatal("echo succeeded through a closed proxy")
+	}
+}
+
+func TestProxyDeadTargetRefusesCleanly(t *testing.T) {
+	ln := echoServer(t)
+	addr := ln.Addr().String()
+	ln.Close()
+	p, err := New(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := echoOnce(p, "void"); err == nil {
+		t.Fatal("echo succeeded with a dead target")
+	}
+}

@@ -68,4 +68,11 @@ const (
 	MetricClusterBreakerTrans = "cluster_breaker_transitions_total" // label: to
 	MetricClusterReplicasUp   = "cluster_replicas_up"
 	MetricClusterRouteSeconds = "cluster_route_seconds"
+
+	// internal/cluster — multi-host membership and failure detection.
+	MetricClusterSuspects     = "cluster_suspects_total"           // remote members suspected by the failure detector
+	MetricClusterRejoins      = "cluster_rejoins_total"            // suspect members readmitted after a heartbeat
+	MetricClusterMembersAdded = "cluster_members_added_total"      // remote members joined via AddRemote
+	MetricClusterClientGone   = "cluster_client_gone_total"        // attempts abandoned because the client vanished
+	MetricClusterReloads      = "cluster_membership_reloads_total" // label: outcome (applied | unchanged | error)
 )

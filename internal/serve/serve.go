@@ -37,6 +37,7 @@ import (
 	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -525,6 +526,28 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// DeadlineHeader carries the caller's remaining request budget in
+// milliseconds. A router in front of the daemon sets it so the replica
+// bounds its own work (batch window, queue wait) to time someone is
+// still waiting for, instead of finishing answers nobody will read.
+const DeadlineHeader = "X-Request-Deadline-Ms"
+
+// requestTimeout is the effective per-request budget: the configured
+// Timeout, tightened by a propagated upstream deadline if one arrived.
+// An unparsable or non-positive header is ignored — a confused caller
+// must not widen or zero the local bound.
+func (s *Server) requestTimeout(r *http.Request) time.Duration {
+	d := s.cfg.Timeout
+	if h := r.Header.Get(DeadlineHeader); h != "" {
+		if ms, err := strconv.ParseInt(h, 10, 64); err == nil && ms > 0 {
+			if up := time.Duration(ms) * time.Millisecond; up < d {
+				d = up
+			}
+		}
+	}
+	return d
+}
+
 // servePredict decodes, validates, and answers one HTTP query.
 func (s *Server) servePredict(r *http.Request) (Response, error) {
 	req, err := DecodeRequest(r.Body)
@@ -535,7 +558,7 @@ func (s *Server) servePredict(r *http.Request) (Response, error) {
 	if err != nil {
 		return Response{}, err
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(r))
 	defer cancel()
 	return s.Predict(ctx, q)
 }
