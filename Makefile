@@ -3,7 +3,7 @@ GO ?= go
 # Label stamped into the benchmark snapshot written by `make bench`.
 LABEL ?= dev
 
-.PHONY: all build vet test race check bench benchcmp bench-smoke fmt fuzz calibration-roundtrip obs-gate serve-gate serve-bench cluster-gate cluster-bench netchaos-gate remote-bench
+.PHONY: all build vet test race check bench benchcmp bench-regress bench-smoke fmt fuzz calibration-roundtrip obs-gate serve-gate serve-bench cluster-gate cluster-bench netchaos-gate remote-bench hotpath-gate hotpath-bench
 
 all: check
 
@@ -28,6 +28,7 @@ fuzz:
 	$(GO) test -run ^$$ -fuzz '^FuzzFitPiecewise$$' -fuzztime 5s ./internal/stats
 	$(GO) test -run ^$$ -fuzz '^FuzzPoissonBinomial$$' -fuzztime 5s ./internal/prob
 	$(GO) test -run ^$$ -fuzz '^FuzzDecodeRequest$$' -fuzztime 5s ./internal/serve
+	$(GO) test -run ^$$ -fuzz '^FuzzDecodeBinaryRequest$$' -fuzztime 5s ./internal/serve
 
 # Persistence gate: write a calibration envelope, verify it, then prove
 # damaged copies are rejected — a truncated file and a payload with one
@@ -114,8 +115,30 @@ remote-bench:
 	$(GO) build -o "$$tmp/contentiond" ./cmd/contentiond && \
 	$(GO) run ./cmd/loadgen -remote 2 -exec "$$tmp/contentiond" -duration 3s -conc 8 -label $(LABEL) -o BENCH_$(LABEL)_remote.json
 
+# Hot-path gate: the surface-vs-DP randomized differential (bit-exact
+# at grid nodes, ≤1e-3 relative between them), the staleness and
+# invalidation protocol, the zero-allocation pins on warm surface and
+# binary-decode paths, the binary round-trip and fast-path
+# differentials, the binary decoder fuzz corpus (seeds only — `make
+# fuzz` explores), and a binary+surface loadgen smoke.
+hotpath-gate:
+	$(GO) test -run 'TestSurface' ./internal/surface
+	$(GO) test -run 'TestBinary|TestFastPath' ./internal/serve
+	$(GO) test -run 'FuzzDecodeBinaryRequest' ./internal/serve
+	$(GO) run ./cmd/loadgen -binary -surface -duration 1s -conc 4 -warmup 100ms > /dev/null
+	@echo "hotpath-gate: OK"
+
+# Record the hot-path benchmark snapshot: the serve-bench traffic shape
+# three ways — JSON through the batcher, binary wire through the
+# batcher, and binary wire with the precomputed surface fast path — so
+# the decode and model-evaluation wins are separately attributable.
+hotpath-bench:
+	$(GO) run ./cmd/loadgen -duration 3s -conc 8 -label $(LABEL) -o BENCH_$(LABEL)_hotpath.json
+	$(GO) run ./cmd/loadgen -binary -duration 3s -conc 8 -label $(LABEL) -o BENCH_$(LABEL)_hotpath.json -append
+	$(GO) run ./cmd/loadgen -binary -surface -duration 3s -conc 8 -label $(LABEL) -o BENCH_$(LABEL)_hotpath.json -append
+
 # The full local gate: everything CI would run.
-check: build vet race fuzz calibration-roundtrip obs-gate serve-gate cluster-gate netchaos-gate bench-smoke
+check: build vet race fuzz calibration-roundtrip obs-gate serve-gate cluster-gate netchaos-gate hotpath-gate bench-smoke
 
 # Record a benchmark snapshot: full suite with allocation stats, parsed
 # into BENCH_$(LABEL).json for later `make benchcmp` diffs.
@@ -128,6 +151,13 @@ OLD ?= BENCH_seed.json
 NEW ?= BENCH_pr3.json
 benchcmp:
 	$(GO) run ./cmd/benchjson -diff $(OLD) $(NEW)
+
+# Regression gate over two snapshots: exits non-zero when any cost
+# metric (ns/op, B/op, allocs/op, or a *-ms latency percentile) grew by
+# more than PCT percent: make bench-regress OLD=... NEW=... PCT=25
+PCT ?= 25
+bench-regress:
+	$(GO) run ./cmd/benchjson -diff -regress $(PCT) $(OLD) $(NEW)
 
 # Cheap gate: one pass of the hot-path microbenchmarks through the
 # JSON parser, proving the bench harness itself still works.

@@ -6,6 +6,12 @@
 //
 //	go test -bench . -benchmem | benchjson -label pr3 -o BENCH_pr3.json
 //	benchjson -diff BENCH_seed.json BENCH_pr3.json
+//	benchjson -diff -regress 25 BENCH_seed.json BENCH_pr3.json
+//
+// With -regress PCT (a -diff mode), cost metrics — ns/op, B/op,
+// allocs/op, and latency metrics ending in -ms — that grew by more
+// than PCT percent are listed after the diff and the exit status is 1,
+// so `make bench-regress` can gate on serving-latency regressions.
 package main
 
 import (
@@ -42,15 +48,32 @@ func main() {
 	label := flag.String("label", "", "snapshot label recorded in the JSON")
 	out := flag.String("o", "", "output file (default stdout)")
 	diff := flag.Bool("diff", false, "diff two snapshot files given as arguments")
+	regress := flag.Float64("regress", 0, "with -diff: exit non-zero when a cost metric (ns/op, B/op, allocs/op, *-ms) grows by more than this percent")
 	flag.Parse()
 
+	if *regress < 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: -regress percent must be non-negative")
+		os.Exit(2)
+	}
+	if *regress > 0 && !*diff {
+		fmt.Fprintln(os.Stderr, "benchjson: -regress requires -diff")
+		os.Exit(2)
+	}
 	if *diff {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: benchjson -diff OLD.json NEW.json")
+			fmt.Fprintln(os.Stderr, "usage: benchjson -diff [-regress PCT] OLD.json NEW.json")
 			os.Exit(2)
 		}
-		if err := diffSnapshots(os.Stdout, flag.Arg(0), flag.Arg(1)); err != nil {
+		regressions, err := diffSnapshots(os.Stdout, flag.Arg(0), flag.Arg(1), *regress)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d metric(s) regressed beyond %g%%:\n", len(regressions), *regress)
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "  "+r)
+			}
 			os.Exit(1)
 		}
 		return
@@ -160,19 +183,33 @@ func stripProcSuffix(name string) string {
 	return name[:i]
 }
 
+// costMetric reports whether a metric's growth is a regression: the
+// standard per-op costs plus every loadgen latency percentile (the
+// *-ms family). Throughput-style metrics (req/s, batched%) are trend
+// lines, not gates — their "good" direction varies by benchmark.
+func costMetric(unit string) bool {
+	switch unit {
+	case "ns/op", "B/op", "allocs/op":
+		return true
+	}
+	return strings.HasSuffix(unit, "-ms")
+}
+
 // diffSnapshots prints a per-benchmark, per-metric comparison of two
 // snapshot files. Shared metrics show the absolute delta and relative
 // change; benchmarks and metrics present on only one side are reported
 // with their values as added or removed, never silently skipped, and a
-// summary line totals the comparison.
-func diffSnapshots(w io.Writer, oldPath, newPath string) error {
+// summary line totals the comparison. With regressPct > 0 it also
+// returns one line per cost metric that grew by more than that percent
+// between the snapshots.
+func diffSnapshots(w io.Writer, oldPath, newPath string, regressPct float64) ([]string, error) {
 	oldSnap, err := readSnapshot(oldPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	newSnap, err := readSnapshot(newPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	oldBy := map[string]Benchmark{}
 	for _, b := range oldSnap.Benchmarks {
@@ -183,6 +220,7 @@ func diffSnapshots(w io.Writer, oldPath, newPath string) error {
 	tw := bufio.NewWriter(w)
 	defer tw.Flush()
 	var compared, added, removed int
+	var regressions []string
 	for _, nb := range newSnap.Benchmarks {
 		ob, found := oldBy[nb.Name]
 		if !found {
@@ -210,6 +248,10 @@ func diffSnapshots(w io.Writer, oldPath, newPath string) error {
 				}
 				fmt.Fprintf(tw, "%-40s %12s  %14.4g -> %-14.4g %+.4g (%s)\n",
 					nb.Name, u, ov, nv, nv-ov, change)
+				if regressPct > 0 && costMetric(u) && ov >= 0 && nv > ov*(1+regressPct/100) {
+					regressions = append(regressions, fmt.Sprintf("%s %s: %.4g -> %.4g (%s)",
+						nb.Name, u, ov, nv, change))
+				}
 			}
 		}
 	}
@@ -222,7 +264,7 @@ func diffSnapshots(w io.Writer, oldPath, newPath string) error {
 		}
 	}
 	fmt.Fprintf(tw, "summary: %d compared, %d added, %d removed\n", compared, added, removed)
-	return nil
+	return regressions, nil
 }
 
 // sortedUnits returns the metric units in sorted order.

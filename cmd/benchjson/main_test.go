@@ -69,7 +69,7 @@ func TestDiffReportsEverySide(t *testing.T) {
 	}})
 
 	var b strings.Builder
-	if err := diffSnapshots(&b, oldPath, newPath); err != nil {
+	if _, err := diffSnapshots(&b, oldPath, newPath, 0); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -101,10 +101,46 @@ func TestDiffZeroBaseline(t *testing.T) {
 		{Name: "BenchmarkX", Metrics: map[string]float64{"allocs/op": 3}},
 	}})
 	var b strings.Builder
-	if err := diffSnapshots(&b, oldPath, newPath); err != nil {
+	if _, err := diffSnapshots(&b, oldPath, newPath, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "+3 (~)") {
 		t.Fatalf("zero baseline not handled:\n%s", b.String())
+	}
+}
+
+// TestDiffRegressGate checks the -regress accounting: cost metrics
+// (ns/op and the loadgen *-ms latency family) beyond the threshold are
+// returned as regressions, growth within the threshold and throughput
+// metrics moving in their "bad" direction are not — req/s falling is a
+// trend line, not a gated cost.
+func TestDiffRegressGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnap(t, dir, "old.json", Snapshot{Label: "seed", Benchmarks: []Benchmark{
+		{Name: "BenchmarkX", Metrics: map[string]float64{"ns/op": 1000, "B/op": 100}},
+		{Name: "Loadgen/closed-conc8", Metrics: map[string]float64{"p50-ms": 1.0, "req/s": 5000}},
+	}})
+	newPath := writeSnap(t, dir, "new.json", Snapshot{Label: "pr", Benchmarks: []Benchmark{
+		{Name: "BenchmarkX", Metrics: map[string]float64{"ns/op": 1400, "B/op": 105}},
+		{Name: "Loadgen/closed-conc8", Metrics: map[string]float64{"p50-ms": 2.0, "req/s": 100}},
+	}})
+	var b strings.Builder
+	regs, err := diffSnapshots(&b, oldPath, newPath, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions %v, want 2 (ns/op +40%%, p50-ms +100%%)", len(regs), regs)
+	}
+	joined := strings.Join(regs, "\n")
+	for _, want := range []string{"BenchmarkX ns/op", "Loadgen/closed-conc8 p50-ms"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("regressions missing %q:\n%s", want, joined)
+		}
+	}
+	for _, reject := range []string{"B/op", "req/s"} {
+		if strings.Contains(joined, reject) {
+			t.Errorf("regressions wrongly include %q:\n%s", reject, joined)
+		}
 	}
 }

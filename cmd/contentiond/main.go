@@ -31,6 +31,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -41,6 +43,7 @@ import (
 	"contention/internal/obs"
 	"contention/internal/runner"
 	"contention/internal/serve"
+	"contention/internal/surface"
 )
 
 func main() {
@@ -51,12 +54,45 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", serve.DefaultMaxInFlight, "admission bound on concurrently served requests")
 	maxQueue := flag.Int("max-queue", serve.DefaultMaxQueue, "admission bound on requests waiting for a slot (0 rejects instead of queueing)")
 	timeout := flag.Duration("timeout", serve.DefaultTimeout, "per-request deadline")
+	useSurface := flag.Bool("surface", false, "precompute the slowdown surface at startup and enable the batcher-bypass fast path")
+	surfaceP := flag.Int("surface-max-p", 16, "largest homogeneous contender count covered by -surface")
+	surfaceCells := flag.Int("surface-cells", 512, "comm-fraction grid cells for -surface (power of two)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	metrics := flag.Bool("metrics", false, "record telemetry and expose GET /metrics; implied by -metrics-addr and -run-report")
 	metricsAddr := flag.String("metrics-addr", "", "also serve Prometheus text on http://ADDR/metrics and expvar on /debug/vars")
 	runReport := flag.String("run-report", "", "write a JSON run manifest to this file at exit (plus a Prometheus snapshot beside it)")
 	flag.Parse()
 	defer exitOnPanic()
 	start := time.Now()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}()
+	}
 
 	if *metricsAddr != "" || *runReport != "" {
 		*metrics = true
@@ -95,6 +131,24 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *useSurface {
+		surf, err := surface.Build(cal.Tables, surface.Config{
+			MaxContenders: *surfaceP,
+			GridCells:     *surfaceCells,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pred.AttachSurface(surf); err != nil {
+			fmt.Fprintln(os.Stderr, "surface:", err)
+			os.Exit(1)
+		}
+		st := surf.Stats()
+		fmt.Fprintf(os.Stderr, "surface: %d nodes precomputed (p ≤ %d, %d cells, %d j columns, max interp err %.2g)\n",
+			st.Fills, st.MaxContenders, st.GridCells, st.Columns, st.MaxRelError)
+	}
+
 	srv, err := serve.New(serve.Config{
 		Pred:        pred,
 		Tracker:     tracker,
@@ -104,6 +158,7 @@ func main() {
 		MaxInFlight: *maxInFlight,
 		MaxQueue:    *maxQueue,
 		Timeout:     *timeout,
+		FastPath:    *useSurface,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)

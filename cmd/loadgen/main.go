@@ -30,17 +30,22 @@
 //
 //	loadgen -duration 5s -conc 8                  # closed loop, self-served
 //	loadgen -mode open -rate 2000 -duration 10s   # open loop at 2 kreq/s
+//	loadgen -binary                               # binary wire format instead of JSON
+//	loadgen -binary -surface                      # + precomputed-surface fast path
 //	loadgen -cluster 4 -o BENCH_cluster.json      # 4-replica fleet behind the router
 //	loadgen -remote 2 -exec ./contentiond         # remote-member path, child daemons
 //	loadgen -members members.json                 # remote fleet from a members file
 //	loadgen -addr 127.0.0.1:8123 -o BENCH_serve.json -label pr5
+//	loadgen -o BENCH.json -append                 # add this run to an existing snapshot
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"net"
@@ -48,7 +53,6 @@ import (
 	"os"
 	"runtime"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,6 +61,7 @@ import (
 	"contention/internal/core"
 	"contention/internal/runner"
 	"contention/internal/serve"
+	"contention/internal/surface"
 )
 
 // benchmark and snapshot mirror cmd/benchjson's wire format (that
@@ -91,6 +96,9 @@ func main() {
 	remoteN := flag.Int("remote", 0, "self-serve a remote-only router over N contentiond child processes from -exec; ignored with -addr")
 	execBin := flag.String("exec", "", "contentiond binary spawned by -remote")
 	membersPath := flag.String("members", "", "route to the remote members listed in this file (remote-only router in front); ignored with -addr")
+	binaryMode := flag.Bool("binary", false, "send requests in the binary wire format instead of JSON")
+	surfaceMode := flag.Bool("surface", false, "self-serve with a precomputed slowdown surface attached and the batcher-bypass fast path on (single in-process server only)")
+	appendOut := flag.Bool("append", false, "append this run's benchmarks to the existing snapshot in -o instead of overwriting it")
 	flag.Parse()
 
 	if *mode != "closed" && *mode != "open" {
@@ -104,6 +112,14 @@ func main() {
 
 	if *remoteN > 0 && *execBin == "" {
 		fmt.Fprintln(os.Stderr, "-remote needs -exec (the contentiond binary to spawn)")
+		os.Exit(2)
+	}
+	if *surfaceMode && (*addr != "" || *clusterN > 0 || *remoteN > 0 || *membersPath != "") {
+		fmt.Fprintln(os.Stderr, "-surface applies only to the single self-served server (no -addr/-cluster/-remote/-members)")
+		os.Exit(2)
+	}
+	if *appendOut && *out == "" {
+		fmt.Fprintln(os.Stderr, "-append needs -o (the snapshot file to extend)")
 		os.Exit(2)
 	}
 	target := *addr
@@ -123,8 +139,11 @@ func main() {
 			stop, hostPort, err = selfServeCluster(*clusterN, *window)
 			desc = fmt.Sprintf("%d-replica cluster", *clusterN)
 		default:
-			stop, hostPort, err = selfServe(*window)
+			stop, hostPort, err = selfServe(*window, *surfaceMode)
 			desc = "server"
+			if *surfaceMode {
+				desc = "server (surface fast path)"
+			}
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "self-serve:", err)
@@ -140,11 +159,21 @@ func main() {
 		MaxIdleConnsPerHost: 4 * *conc,
 	}}
 
-	bodies := corpus(rand.New(rand.NewSource(*seed)), 512)
-	if *warmup > 0 {
-		run(client, url, bodies, "closed", *conc, *rate, *warmup)
+	contentType := "application/json"
+	if *binaryMode {
+		contentType = serve.ContentTypeBinary
 	}
-	res := run(client, url, bodies, *mode, *conc, *rate, *duration)
+	bodies := corpus(rand.New(rand.NewSource(*seed)), 512, *binaryMode)
+	if *warmup > 0 {
+		run(client, url, contentType, bodies, "closed", *conc, *rate, *warmup)
+	}
+	// Mallocs delta across the measured run / successful requests gives a
+	// process-wide allocs/op trend line: client encode+decode cost, plus
+	// the whole server side when self-serving.
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	res := run(client, url, contentType, bodies, *mode, *conc, *rate, *duration)
+	runtime.ReadMemStats(&ms1)
 
 	if res.errors > 0 {
 		fmt.Fprintf(os.Stderr, "loadgen: %d/%d requests failed; first: %s\n", res.errors, res.total(), res.firstErr)
@@ -166,6 +195,12 @@ func main() {
 			name += fmt.Sprintf("-cluster%d", *clusterN)
 		}
 	}
+	if *binaryMode {
+		name += "-bin"
+	}
+	if *surfaceMode {
+		name += "-surface"
+	}
 	snap := snapshot{
 		Label:  *label,
 		GoOS:   runtime.GOOS,
@@ -175,22 +210,37 @@ func main() {
 			Name:       name,
 			Iterations: int64(len(res.latencies)),
 			Metrics: map[string]float64{
-				"req/s":    float64(len(res.latencies)) / res.elapsed.Seconds(),
-				"p50-ms":   percentile(res.latencies, 50),
-				"p90-ms":   percentile(res.latencies, 90),
-				"p99-ms":   percentile(res.latencies, 99),
-				"max-ms":   res.latencies[len(res.latencies)-1],
-				"err%":     100 * float64(res.errors) / float64(res.total()),
-				"batched%": 100 * float64(res.batched.Load()) / float64(len(res.latencies)),
+				"req/s":     float64(len(res.latencies)) / res.elapsed.Seconds(),
+				"p50-ms":    percentile(res.latencies, 50),
+				"p90-ms":    percentile(res.latencies, 90),
+				"p99-ms":    percentile(res.latencies, 99),
+				"p99.9-ms":  percentile(res.latencies, 99.9),
+				"max-ms":    res.latencies[len(res.latencies)-1],
+				"err%":      100 * float64(res.errors) / float64(res.total()),
+				"batched%":  100 * float64(res.batched.Load()) / float64(len(res.latencies)),
+				"fast%":     100 * float64(res.fast.Load()) / float64(len(res.latencies)),
+				"allocs/op": float64(ms1.Mallocs-ms0.Mallocs) / float64(len(res.latencies)),
 			},
 		}},
 	}
-	fmt.Fprintf(os.Stderr, "%s: %d ok in %v — %.0f req/s, p50 %.3f ms, p90 %.3f ms, p99 %.3f ms, batched %.1f%%\n",
+	fmt.Fprintf(os.Stderr, "%s: %d ok in %v — %.0f req/s, p50 %.3f ms, p99 %.3f ms, p99.9 %.3f ms, batched %.1f%%, fast %.1f%%, %.0f allocs/op\n",
 		name, len(res.latencies), res.elapsed.Round(time.Millisecond),
 		snap.Benchmarks[0].Metrics["req/s"], snap.Benchmarks[0].Metrics["p50-ms"],
-		snap.Benchmarks[0].Metrics["p90-ms"], snap.Benchmarks[0].Metrics["p99-ms"],
-		snap.Benchmarks[0].Metrics["batched%"])
+		snap.Benchmarks[0].Metrics["p99-ms"], snap.Benchmarks[0].Metrics["p99.9-ms"],
+		snap.Benchmarks[0].Metrics["batched%"], snap.Benchmarks[0].Metrics["fast%"],
+		snap.Benchmarks[0].Metrics["allocs/op"])
 
+	if *appendOut {
+		if prev, err := os.ReadFile(*out); err == nil {
+			var old snapshot
+			if err := json.Unmarshal(prev, &old); err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: -append %s: %v\n", *out, err)
+				os.Exit(1)
+			}
+			old.Benchmarks = append(old.Benchmarks, snap.Benchmarks...)
+			snap = old
+		}
+	}
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -209,13 +259,27 @@ func main() {
 	}
 }
 
-// selfServe starts an in-process prediction server on a loopback port.
-func selfServe(window time.Duration) (stop func(), hostPort string, err error) {
-	pred, err := core.NewPredictor(serve.SyntheticCalibration())
+// selfServe starts an in-process prediction server on a loopback port,
+// optionally with a precomputed slowdown surface attached and the
+// batcher-bypass fast path enabled.
+func selfServe(window time.Duration, withSurface bool) (stop func(), hostPort string, err error) {
+	cal := serve.SyntheticCalibration()
+	pred, err := core.NewPredictor(cal)
 	if err != nil {
 		return nil, "", err
 	}
-	srv, err := serve.New(serve.Config{Pred: pred, Pool: runner.New(0), Window: window})
+	if withSurface {
+		s, err := surface.Build(cal.Tables, surface.Config{})
+		if err != nil {
+			return nil, "", err
+		}
+		if err := pred.AttachSurface(s); err != nil {
+			return nil, "", err
+		}
+	}
+	srv, err := serve.New(serve.Config{
+		Pred: pred, Pool: runner.New(0), Window: window, FastPath: withSurface,
+	})
 	if err != nil {
 		return nil, "", err
 	}
@@ -329,35 +393,61 @@ func selfServeRemote(n int, bin, membersPath string, window time.Duration) (stop
 
 // corpus builds n request bodies over a small pool of contender mixes,
 // weighted toward mix reuse so the server's micro-batching sees the
-// traffic shape it exists for.
-func corpus(rng *rand.Rand, n int) []string {
-	type mix struct{ specs []serve.ContenderSpec }
-	mixes := make([]mix, 12)
+// traffic shape it exists for. Half the mixes are homogeneous — one
+// spec replicated p times, no I/O — the class the precomputed surface
+// covers, so -surface runs exercise the fast path on realistic sweeps
+// while the other half measures the heterogeneous fallback.
+func corpus(rng *rand.Rand, n int, binary bool) [][]byte {
+	mixes := make([][]serve.ContenderSpec, 12)
 	for m := range mixes {
 		p := rng.Intn(5)
 		specs := make([]serve.ContenderSpec, p)
-		for i := range specs {
-			specs[i] = serve.ContenderSpec{
+		if m < len(mixes)/2 {
+			one := serve.ContenderSpec{
 				CommFraction: math.Round(rng.Float64()*80) / 100,
 				MsgWords:     rng.Intn(2000),
 			}
-		}
-		mixes[m].specs = specs
-	}
-	bodies := make([]string, n)
-	for i := range bodies {
-		m := mixes[rng.Intn(len(mixes))]
-		cs, _ := json.Marshal(m.specs)
-		if rng.Intn(2) == 0 {
-			dir := "to_back"
-			if rng.Intn(2) == 0 {
-				dir = "to_host"
+			for i := range specs {
+				specs[i] = one
 			}
-			sets, _ := json.Marshal([]serve.DataSetSpec{{N: 1 + rng.Intn(100), Words: rng.Intn(4000)}})
-			bodies[i] = fmt.Sprintf(`{"kind":"comm","dir":%q,"sets":%s,"contenders":%s}`, dir, sets, cs)
 		} else {
-			bodies[i] = fmt.Sprintf(`{"kind":"comp","dcomp":%v,"contenders":%s}`, 0.1+rng.Float64()*10, cs)
+			for i := range specs {
+				specs[i] = serve.ContenderSpec{
+					CommFraction: math.Round(rng.Float64()*80) / 100,
+					MsgWords:     rng.Intn(2000),
+				}
+			}
 		}
+		mixes[m] = specs
+	}
+	bodies := make([][]byte, n)
+	for i := range bodies {
+		req := serve.Request{Contenders: mixes[rng.Intn(len(mixes))]}
+		if rng.Intn(2) == 0 {
+			req.Kind = "comm"
+			req.Dir = "to_back"
+			if rng.Intn(2) == 0 {
+				req.Dir = "to_host"
+			}
+			req.Sets = []serve.DataSetSpec{{N: 1 + rng.Intn(100), Words: rng.Intn(4000)}}
+		} else {
+			req.Kind = "comp"
+			d := 0.1 + rng.Float64()*10
+			req.Dcomp = &d
+		}
+		var (
+			b   []byte
+			err error
+		)
+		if binary {
+			b, err = serve.AppendBinaryRequest(nil, &req)
+		} else {
+			b, err = json.Marshal(&req)
+		}
+		if err != nil {
+			panic(err) // corpus requests are valid by construction
+		}
+		bodies[i] = b
 	}
 	return bodies
 }
@@ -369,15 +459,19 @@ type result struct {
 	firstErr  string
 	elapsed   time.Duration
 	batched   atomic.Int64
+	fast      atomic.Int64
 }
 
 func (r *result) total() int64 { return int64(len(r.latencies)) + r.errors }
 
 // run executes one generator run and returns the measured outcomes.
-func run(client *http.Client, url string, bodies []string, mode string, conc int, rate float64, d time.Duration) *result {
+// Binary-format responses only arrive with status 200 — pipeline errors
+// come back as the JSON envelope regardless of the request format, so
+// non-200 is recorded off the status alone.
+func run(client *http.Client, url, contentType string, bodies [][]byte, mode string, conc int, rate float64, d time.Duration) *result {
 	res := &result{}
 	var mu sync.Mutex
-	record := func(lat time.Duration, batch int, err error) {
+	record := func(lat time.Duration, out serve.Response, err error) {
 		mu.Lock()
 		defer mu.Unlock()
 		if err != nil {
@@ -388,30 +482,43 @@ func run(client *http.Client, url string, bodies []string, mode string, conc int
 			return
 		}
 		res.latencies = append(res.latencies, float64(lat)/float64(time.Millisecond))
-		if batch > 1 {
+		if out.Batch > 1 {
 			res.batched.Add(1)
 		}
+		if out.Fast {
+			res.fast.Add(1)
+		}
 	}
-	one := func(body string) {
+	binary := contentType == serve.ContentTypeBinary
+	one := func(body []byte) {
 		t0 := time.Now()
-		resp, err := client.Post(url, "application/json", strings.NewReader(body))
+		resp, err := client.Post(url, contentType, bytes.NewReader(body))
 		lat := time.Since(t0)
 		if err != nil {
-			record(0, 0, err)
+			record(0, serve.Response{}, err)
 			return
 		}
 		var out serve.Response
-		decErr := json.NewDecoder(resp.Body).Decode(&out)
+		var decErr error
+		if binary && resp.StatusCode == http.StatusOK {
+			var raw []byte
+			raw, decErr = io.ReadAll(resp.Body)
+			if decErr == nil {
+				out, decErr = serve.DecodeBinaryResponse(raw)
+			}
+		} else {
+			decErr = json.NewDecoder(resp.Body).Decode(&out)
+		}
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
-			record(0, 0, fmt.Errorf("status %d", resp.StatusCode))
+			record(0, serve.Response{}, fmt.Errorf("status %d", resp.StatusCode))
 			return
 		}
 		if decErr != nil {
-			record(0, 0, decErr)
+			record(0, serve.Response{}, decErr)
 			return
 		}
-		record(lat, out.Batch, nil)
+		record(lat, out, nil)
 	}
 
 	start := time.Now()
@@ -456,7 +563,7 @@ func run(client *http.Client, url string, bodies []string, mode string, conc int
 					one(body)
 				}()
 			default:
-				record(0, 0, fmt.Errorf("open-loop overload: %d requests in flight", cap(sem)))
+				record(0, serve.Response{}, fmt.Errorf("open-loop overload: %d requests in flight", cap(sem)))
 			}
 		}
 	}

@@ -227,13 +227,21 @@ func (t *Tracker) Observe(predicted, observed float64) (bool, error) {
 
 // Adopt swaps in a predictor built from a fresh calibration (after
 // recalibration), resets the drift detector, and re-derives the trust
-// state from validation — Fresh when the new artifact is clean.
+// state from validation — Fresh when the new artifact is clean. The
+// superseded predictor is marked stale, which also invalidates any
+// precomputed surface attached to it: anything still holding the old
+// predictor degrades to the p+1 fallback instead of serving values
+// from a calibration that has been replaced.
 func (t *Tracker) Adopt(pred *core.Predictor) error {
 	if pred == nil {
 		return errors.New("caltrust: nil predictor")
 	}
 	t.mu.Lock()
+	old := t.pred
 	t.adopt(pred)
 	t.mu.Unlock()
+	if old != nil && old != pred {
+		old.MarkStale("superseded by recalibration")
+	}
 	return nil
 }

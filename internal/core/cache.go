@@ -1,11 +1,20 @@
 // Slowdown-kernel caching. The paper's mixture slowdowns are pure
 // functions of (delay tables, contender multiset, j column); the
-// experiment drivers and any scheduler hammering the model evaluate
-// them over and over with the contender set unchanged across an entire
-// message-size sweep. slowdownCache memoizes the mixtures keyed on the
-// contender-probability multiset (+ j for the computation mixture) and
-// reuses the Poisson-binomial DP scratch buffers, turning the hot path
-// into a map probe with zero allocations after warm-up.
+// experiment drivers, the serving daemon, and any scheduler hammering
+// the model evaluate them over and over with the contender set
+// unchanged across an entire message-size sweep. slowdownCache memoizes
+// the mixtures keyed on the contender-probability multiset (+ j for the
+// computation mixture) and reuses per-shard scratch buffers, turning
+// the hot path into a map probe with zero allocations after warm-up.
+//
+// The cache is sharded: a power-of-two array of independently locked
+// shards, selected by an order-insensitive hash of the batch key, so
+// concurrent predictor users on a multi-core host contend only when
+// they touch the same key neighborhood instead of serializing on one
+// global mutex. The shard index must be computable before any scratch
+// buffer is available (scratch lives in the shard), so it is derived
+// from a commutative mix over the raw contender fields — deterministic
+// per multiset, no sorting required.
 package core
 
 import (
@@ -15,10 +24,14 @@ import (
 	"sync"
 )
 
+// cacheShardBits sets the shard count (1 << cacheShardBits). 64 shards
+// keep multi-core contention negligible while the per-shard scratch
+// stays a few hundred bytes.
+const cacheShardBits = 6
+
+const cacheShards = 1 << cacheShardBits
+
 // slowdownCache memoizes mixture slowdowns for one fixed DelayTables.
-// It is goroutine-safe: one mutex guards both maps and the scratch
-// buffers, so concurrent predictor users serialize only for the
-// microseconds of a key build or a DP rebuild.
 //
 // Keying/invalidation contract: entries are keyed by the contender
 // multiset (order-insensitive) and, for the computation mixture, the j
@@ -27,9 +40,18 @@ import (
 // Recalibration therefore invalidates by construction: it produces a
 // new Predictor and with it an empty cache. MarkStale does not touch
 // the cache either, because staleness redirects the Robust methods to
-// the p+1 fallback before any cached value is consulted; the cached
-// mixtures remain correct for the calibration they were computed from.
+// the p+1 fallback (and the Try fast path to a miss) before any cached
+// value is consulted; the cached mixtures remain correct for the
+// calibration they were computed from.
 type slowdownCache struct {
+	shards [cacheShards]cacheShard
+}
+
+// cacheShard is one independently locked slice of the key space. The
+// scratch buffers are shard-local: a key is always built (and a DP
+// rebuilt) under the shard lock, so concurrent misses on different
+// shards proceed in parallel.
+type cacheShard struct {
 	mu   sync.Mutex
 	comm map[string]float64
 	comp map[string]float64
@@ -41,30 +63,59 @@ type slowdownCache struct {
 }
 
 func newSlowdownCache() *slowdownCache {
-	return &slowdownCache{
-		comm: make(map[string]float64),
-		comp: make(map[string]float64),
+	c := &slowdownCache{}
+	for i := range c.shards {
+		c.shards[i].comm = make(map[string]float64)
+		c.shards[i].comp = make(map[string]float64)
 	}
+	return c
 }
 
-// appendKey canonicalizes the contender multiset into c.key: contenders
-// are insertion-sorted (the sets are small) into c.sorted so that
-// permutations of the same multiset share one entry, then the fields
-// are encoded as raw float bits. kind and j disambiguate the mixture.
-// Both scratch slices are reused; the caller must hold c.mu.
-func (c *slowdownCache) appendKey(kind byte, j int, cs []Contender) {
-	c.sorted = append(c.sorted[:0], cs...)
-	for i := 1; i < len(c.sorted); i++ {
-		for k := i; k > 0 && lessContender(c.sorted[k], c.sorted[k-1]); k-- {
-			c.sorted[k], c.sorted[k-1] = c.sorted[k-1], c.sorted[k]
+// fmix64 is the 64-bit murmur3 finalizer: full-avalanche mixing so
+// near-identical contender encodings spread across shards.
+func fmix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// shardFor selects the shard for a mixture key. The per-contender
+// hashes combine by addition — commutative, so every permutation of
+// one multiset lands on the same shard without sorting first — and the
+// kind/column fold in so the comm and comp key spaces spread
+// independently.
+func (c *slowdownCache) shardFor(kind byte, col int, cs []Contender) *cacheShard {
+	acc := fmix64(uint64(kind)<<32 | uint64(uint32(col)))
+	for _, ct := range cs {
+		h := math.Float64bits(ct.CommFraction)
+		h = h*0x9e3779b97f4a7c15 + math.Float64bits(ct.IOFraction)
+		h = h*0x9e3779b97f4a7c15 + uint64(uint32(ct.MsgWords))
+		acc += fmix64(h)
+	}
+	return &c.shards[fmix64(acc)&(cacheShards-1)]
+}
+
+// appendKey canonicalizes the contender multiset into sh.key:
+// contenders are insertion-sorted (the sets are small) into sh.sorted
+// so that permutations of the same multiset share one entry, then the
+// fields are encoded as raw float bits. kind and j disambiguate the
+// mixture. Both scratch slices are reused; the caller must hold sh.mu.
+func (sh *cacheShard) appendKey(kind byte, j int, cs []Contender) {
+	sh.sorted = append(sh.sorted[:0], cs...)
+	for i := 1; i < len(sh.sorted); i++ {
+		for k := i; k > 0 && lessContender(sh.sorted[k], sh.sorted[k-1]); k-- {
+			sh.sorted[k], sh.sorted[k-1] = sh.sorted[k-1], sh.sorted[k]
 		}
 	}
-	c.key = append(c.key[:0], kind)
-	c.key = binary.LittleEndian.AppendUint64(c.key, uint64(j))
-	for _, ct := range c.sorted {
-		c.key = binary.LittleEndian.AppendUint64(c.key, math.Float64bits(ct.CommFraction))
-		c.key = binary.LittleEndian.AppendUint64(c.key, math.Float64bits(ct.IOFraction))
-		c.key = binary.LittleEndian.AppendUint64(c.key, uint64(ct.MsgWords))
+	sh.key = append(sh.key[:0], kind)
+	sh.key = binary.LittleEndian.AppendUint64(sh.key, uint64(j))
+	for _, ct := range sh.sorted {
+		sh.key = binary.LittleEndian.AppendUint64(sh.key, math.Float64bits(ct.CommFraction))
+		sh.key = binary.LittleEndian.AppendUint64(sh.key, math.Float64bits(ct.IOFraction))
+		sh.key = binary.LittleEndian.AppendUint64(sh.key, uint64(ct.MsgWords))
 	}
 }
 
@@ -79,19 +130,19 @@ func lessContender(a, b Contender) bool {
 }
 
 // distributions rebuilds the pcomp/pcomm Poisson-binomial distributions
-// into the cache's scratch buffers. The caller must hold c.mu.
-func (c *slowdownCache) distributions(cs []Contender) error {
+// into the shard's scratch buffers. The caller must hold sh.mu.
+func (sh *cacheShard) distributions(cs []Contender) error {
 	for _, ct := range cs {
 		if err := ct.Validate(); err != nil {
 			return err
 		}
 	}
 	var err error
-	c.compDist, err = appendDistFractions(c.compDist, cs, Contender.CompFraction)
+	sh.compDist, err = appendDistFractions(sh.compDist, cs, Contender.CompFraction)
 	if err != nil {
 		return err
 	}
-	c.commDist, err = appendDistFractions(c.commDist, cs, func(ct Contender) float64 { return ct.CommFraction })
+	sh.commDist, err = appendDistFractions(sh.commDist, cs, func(ct Contender) float64 { return ct.CommFraction })
 	return err
 }
 
@@ -118,24 +169,49 @@ func appendDistFractions(dst []float64, cs []Contender, q func(Contender) float6
 // commSlowdown returns the communication-slowdown mixture for cs,
 // computing and memoizing it on first sight of the multiset.
 func (c *slowdownCache) commSlowdown(cs []Contender, t DelayTables) (float64, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.appendKey('m', 0, cs)
-	if s, ok := c.comm[string(c.key)]; ok {
+	sh := c.shardFor('m', 0, cs)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.appendKey('m', 0, cs)
+	if s, ok := sh.comm[string(sh.key)]; ok {
 		mCacheCommHits.Inc()
 		return s, nil
 	}
 	mCacheCommMisses.Inc()
-	if err := c.distributions(cs); err != nil {
+	if err := sh.distributions(cs); err != nil {
 		return 0, err
 	}
 	s := 1.0
 	for i := 1; i <= len(cs); i++ {
-		s += c.compDist[i] * lookup(t.CompOnComm, i)
-		s += c.commDist[i] * lookup(t.CommOnComm, i)
+		s += sh.compDist[i] * lookup(t.CompOnComm, i)
+		s += sh.commDist[i] * lookup(t.CommOnComm, i)
 	}
-	c.comm[string(c.key)] = s
+	sh.comm[string(sh.key)] = s
 	return s, nil
+}
+
+// probeComm is the lookup-only variant of commSlowdown: it reports a
+// memoized mixture when one exists and never runs the DP. The Try fast
+// path (and through it, the serving batcher bypass) relies on it being
+// allocation-free.
+func (c *slowdownCache) probeComm(cs []Contender) (float64, bool) {
+	sh := c.shardFor('m', 0, cs)
+	sh.mu.Lock()
+	sh.appendKey('m', 0, cs)
+	s, ok := sh.comm[string(sh.key)]
+	sh.mu.Unlock()
+	return s, ok
+}
+
+// resolveCompCol maps a requested j to its delay^{i,j} column (0 when
+// no contender communicates, so column choice cannot matter).
+func resolveCompCol(cs []Contender, jGrid []int, j int) (int, error) {
+	for _, ct := range cs {
+		if ct.CommFraction > 0 {
+			return NearestJ(jGrid, j)
+		}
+	}
+	return 0, nil
 }
 
 // compSlowdownWithJ returns the computation-slowdown mixture for cs
@@ -145,46 +221,53 @@ func (c *slowdownCache) commSlowdown(cs []Contender, t DelayTables) (float64, er
 func (c *slowdownCache) compSlowdownWithJ(cs []Contender, t DelayTables, jGrid []int, j int) (float64, error) {
 	// Resolve j to its calibrated column first so that all message sizes
 	// mapping to one column share a cache entry.
-	col := 0
-	anyComm := false
-	for _, ct := range cs {
-		if ct.CommFraction > 0 {
-			anyComm = true
-			break
-		}
+	col, err := resolveCompCol(cs, jGrid, j)
+	if err != nil {
+		return 0, err
 	}
-	if anyComm {
-		var err error
-		col, err = nearestJ(jGrid, j)
-		if err != nil {
-			return 0, err
-		}
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.appendKey('p', col, cs)
-	if s, ok := c.comp[string(c.key)]; ok {
+	sh := c.shardFor('p', col, cs)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.appendKey('p', col, cs)
+	if s, ok := sh.comp[string(sh.key)]; ok {
 		mCacheCompHits.Inc()
 		return s, nil
 	}
 	mCacheCompMisses.Inc()
-	if err := c.distributions(cs); err != nil {
+	if err := sh.distributions(cs); err != nil {
 		return 0, err
 	}
 	s := 1.0
 	for i := 1; i <= len(cs); i++ {
-		s += c.compDist[i] * float64(i)
-		if p := c.commDist[i]; p > 0 {
+		s += sh.compDist[i] * float64(i)
+		if p := sh.commDist[i]; p > 0 {
 			s += p * lookup(t.CommOnComp[col], i)
 		}
 	}
-	c.comp[string(c.key)] = s
+	sh.comp[string(sh.key)] = s
 	return s, nil
 }
 
-// nearestJ is DelayTables.NearestJ over a precomputed ascending grid,
-// allocation-free.
-func nearestJ(grid []int, words int) (int, error) {
+// probeCompWithJ is the lookup-only variant of compSlowdownWithJ.
+func (c *slowdownCache) probeCompWithJ(cs []Contender, jGrid []int, j int) (float64, bool) {
+	col, err := resolveCompCol(cs, jGrid, j)
+	if err != nil {
+		return 0, false
+	}
+	sh := c.shardFor('p', col, cs)
+	sh.mu.Lock()
+	sh.appendKey('p', col, cs)
+	s, ok := sh.comp[string(sh.key)]
+	sh.mu.Unlock()
+	return s, ok
+}
+
+// NearestJ selects the calibrated column in grid (ascending) closest to
+// the requested message size, applying the paper's footnote: the j=1
+// column is only eligible when the size is below 95 words. It is the
+// allocation-free core of DelayTables.NearestJ, shared with the
+// precomputed-surface layer so both resolve identically.
+func NearestJ(grid []int, words int) (int, error) {
 	if len(grid) == 0 {
 		return 0, errNoJColumns
 	}

@@ -240,24 +240,7 @@ var errNoJColumns = errors.New("core: no delay^{i,j} columns calibrated")
 // message size, applying the paper's footnote: the j=1 column is only
 // eligible when the size is below 95 words.
 func (t DelayTables) NearestJ(words int) (int, error) {
-	grid := t.JGrid()
-	if len(grid) == 0 {
-		return 0, errNoJColumns
-	}
-	bestJ, bestDist := 0, math.MaxInt
-	for _, j := range grid {
-		if j == 1 && words >= smallMessageLimit && len(grid) > 1 {
-			continue
-		}
-		d := j - words
-		if d < 0 {
-			d = -d
-		}
-		if d < bestDist {
-			bestJ, bestDist = j, d
-		}
-	}
-	return bestJ, nil
+	return NearestJ(t.JGrid(), words)
 }
 
 // CommOnCompDelay returns delay^{i,j}_comm for i contenders using the

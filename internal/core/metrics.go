@@ -23,4 +23,12 @@ var (
 		"robust predictions that fell back to the p+1 worst case")
 	mPredictBatch = obs.NewHistogram(obs.MetricPredictBatch,
 		"grid sizes of batched predictions", obs.DefaultSizeBuckets())
+	mSurfaceHits = obs.NewCounterVec(obs.MetricSurfaceHits,
+		"slowdowns served from the precomputed surface", "kind")
+	mSurfaceMisses = obs.NewCounterVec(obs.MetricSurfaceMisses,
+		"Try lookups that fell past the surface (off-class, out of range, or invalidated)", "kind")
+	mSurfaceHitComm  = mSurfaceHits.With("comm")
+	mSurfaceHitComp  = mSurfaceHits.With("comp")
+	mSurfaceMissComm = mSurfaceMisses.With("comm")
+	mSurfaceMissComp = mSurfaceMisses.With("comp")
 )

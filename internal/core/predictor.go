@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
-	"sync"
+	"sync/atomic"
 )
 
 // Direction names a transfer direction across the platform link.
@@ -71,11 +71,15 @@ type Predictor struct {
 	// a validation report or re-sorts the calibrated j columns.
 	cache     *slowdownCache
 	jGrid     []int
+	checksum  uint64   // TablesChecksum of cal.Tables, for surface stamping
 	tablesErr error    // fatal delay-table violations, if any
 	modelErr  [2]error // per-direction comm-model validation result
 
-	staleMu sync.Mutex
-	stale   string // non-empty: calibration marked stale, reason attached
+	// stale holds the staleness reason (nil: fresh). An atomic pointer,
+	// not a mutex, so the Try fast path can gate on freshness with one
+	// load. surface is the optionally attached precomputed surface.
+	stale   atomic.Pointer[string]
+	surface atomic.Pointer[surfaceBox]
 }
 
 // initDerived populates the construction-time caches shared by the
@@ -83,6 +87,7 @@ type Predictor struct {
 func (p *Predictor) initDerived() {
 	p.cache = newSlowdownCache()
 	p.jGrid = p.cal.Tables.JGrid()
+	p.checksum = TablesChecksum(p.cal.Tables)
 	p.tablesErr = p.cal.Tables.Validate()
 	p.modelErr[HostToBack] = p.cal.ToBack.Validate()
 	p.modelErr[BackToHost] = p.cal.ToHost.Validate()
@@ -325,28 +330,34 @@ func WorstCaseSlowdown(cs []Contender) float64 { return float64(len(cs) + 1) }
 // MarkStale flags the calibration as stale — e.g. the resource manager
 // observed a job-mix regime change since calibration (§4: "slowdown
 // factors should be recalculated when the job mix changes"). Until
-// ClearStale, the Robust methods return the worst-case fallback.
+// ClearStale, the Robust methods return the worst-case fallback, the
+// Try fast path misses, and any attached surface is invalidated.
 func (p *Predictor) MarkStale(reason string) {
 	if reason == "" {
 		reason = "calibration marked stale"
 	}
-	p.staleMu.Lock()
-	p.stale = reason
-	p.staleMu.Unlock()
+	p.stale.Store(&reason)
+	if b := p.surface.Load(); b != nil {
+		b.s.Invalidate()
+	}
 }
 
-// ClearStale removes the staleness mark (after recalibration).
+// ClearStale removes the staleness mark (after recalibration). An
+// attached surface is revalidated through its checksum gate: it only
+// comes back if it was built from these exact tables.
 func (p *Predictor) ClearStale() {
-	p.staleMu.Lock()
-	p.stale = ""
-	p.staleMu.Unlock()
+	p.stale.Store(nil)
+	if b := p.surface.Load(); b != nil {
+		b.s.Revalidate(p.checksum)
+	}
 }
 
 // Stale reports the staleness reason ("" when fresh).
 func (p *Predictor) Stale() string {
-	p.staleMu.Lock()
-	defer p.staleMu.Unlock()
-	return p.stale
+	if r := p.stale.Load(); r != nil {
+		return *r
+	}
+	return ""
 }
 
 // tablesInvalidReason returns a degradation reason when the validation

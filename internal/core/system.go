@@ -112,7 +112,7 @@ func (s *System) CompSlowdownWithJ(j int) (float64, error) {
 		out += s.comp.P(i) * float64(i)
 		if p := s.comm.P(i); p > 0 {
 			if !resolved {
-				col, colErr = nearestJ(s.jGrid, j)
+				col, colErr = NearestJ(s.jGrid, j)
 				resolved = true
 			}
 			if colErr != nil {

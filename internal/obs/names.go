@@ -16,6 +16,15 @@ const (
 	MetricPredictDegraded = "core_predict_degraded_total"
 	MetricPredictBatch    = "core_predict_batch_size"
 
+	// internal/core + internal/surface — the precomputed slowdown
+	// surface that replaces the DP on the steady-state hot path.
+	MetricSurfaceHits          = "surface_hits_total"   // label: kind (comm | comp)
+	MetricSurfaceMisses        = "surface_misses_total" // label: kind
+	MetricSurfaceFills         = "surface_fills_total"  // grid nodes evaluated at build time
+	MetricSurfaceBuilds        = "surface_builds_total"
+	MetricSurfaceInvalidations = "surface_invalidations_total"
+	MetricSurfaceRevalidations = "surface_revalidations_total"
+
 	// internal/runner — the shared worker pool.
 	MetricPoolTasks       = "runner_tasks_total"
 	MetricPoolInline      = "runner_tasks_inline_total"
@@ -57,6 +66,12 @@ const (
 	MetricServeQueueDepthMax  = "serve_queue_depth_max"
 	MetricServeRequestSeconds = "serve_request_seconds"
 	MetricServeFlushSeconds   = "serve_flush_seconds"
+
+	// internal/serve — the binary wire format and the batcher-bypass
+	// fast path for surface-resident keys.
+	MetricServeBinaryRequests = "serve_binary_requests_total"
+	MetricServeFastHits       = "serve_fastpath_hits_total"
+	MetricServeFastMisses     = "serve_fastpath_misses_total"
 
 	// internal/cluster — the self-healing replica fleet and its router.
 	MetricClusterRequests     = "cluster_requests_total"            // label: outcome

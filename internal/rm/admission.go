@@ -92,6 +92,24 @@ func (a *Admission) Acquire(ctx context.Context) error {
 	}
 }
 
+// TryAcquire takes a slot only if one is free right now, reporting
+// whether it did. It never waits and never consumes queue capacity —
+// the serving fast path uses it to stay off the batcher when a slot is
+// instantly available, falling back to the full Acquire pipeline (with
+// its bounded waiting and typed rejections) when it is not. A true
+// return must be paired with exactly one Release.
+func (a *Admission) TryAcquire() bool {
+	select {
+	case a.slots <- struct{}{}:
+		a.mu.Lock()
+		a.admitted++
+		a.mu.Unlock()
+		return true
+	default:
+		return false
+	}
+}
+
 // Release frees a slot taken by a successful Acquire.
 func (a *Admission) Release() {
 	select {

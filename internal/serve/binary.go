@@ -1,0 +1,315 @@
+// Binary wire fast path. JSON decode dominates the per-request cost
+// once the model answer itself is a surface lookup, so the daemon
+// negotiates a hand-decoded length-prefixed format beside JSON via
+// Content-Type. The decoder extracts fields straight out of one pooled
+// read buffer into a pooled request struct (no reflection, no
+// intermediate strings), and responses are encoded into a pooled
+// buffer — steady-state binary requests allocate nothing in this file.
+//
+// Request payload (all integers little-endian):
+//
+//	u32  payload length (bytes after this prefix; capped at MaxBodyBytes)
+//	u8   version (= 1)
+//	u8   kind    (1 = comm, 2 = comp)
+//	u8   flags   (comm: bit0 = direction, 0 to_back / 1 to_host;
+//	              comp: bit0 = explicit j present)
+//	u8   contender count
+//	kind comm: u16 data-set count, then count × (u32 n, u32 words)
+//	kind comp: f64 dcomp, then u32 j if flags bit0
+//	contender count × (f64 comm_fraction, f64 io_fraction, u32 msg_words)
+//
+// The payload length must match the content exactly; truncation,
+// trailing bytes, NaN/Inf fractions, and out-of-range counts are all
+// typed 4xx RequestErrors — never a panic (FuzzDecodeBinaryRequest).
+//
+// Response payload:
+//
+//	u32  payload length
+//	u8   version (= 1)
+//	u8   flags   (bit0 degraded, bit1 fast)
+//	u16  reason length
+//	f64  value
+//	u32  batch size
+//	reason bytes
+//
+// Pipeline errors (4xx/5xx) are answered as the usual JSON error
+// envelope with the HTTP status carrying the verdict, so binary
+// clients need no second error format on the hot path.
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"sync"
+
+	"contention/internal/core"
+)
+
+// ContentTypeBinary selects the binary request/response format on
+// POST /v1/predict.
+const ContentTypeBinary = "application/x-contention-predict"
+
+const (
+	binVersion = 1
+
+	binKindComm = 1
+	binKindComp = 2
+
+	binFlagDirToHost = 1 // comm: direction is back→host
+	binFlagHasJ      = 1 // comp: explicit j column follows dcomp
+
+	binRespDegraded = 1
+	binRespFast     = 2
+
+	binContenderBytes = 20 // f64 + f64 + u32
+	binDataSetBytes   = 8  // u32 + u32
+)
+
+// binReq is the pooled per-request workspace: the raw payload buffer,
+// fixed backing arrays the decoded query slices point into, and the
+// response encode buffer. It must not be recycled while anything still
+// references those slices — the batcher slow path clones them first.
+type binReq struct {
+	q    query
+	cs   [MaxContenders]core.Contender
+	sets [MaxDataSets]core.DataSet
+	buf  []byte
+	out  []byte
+	// hdr/probe live here rather than on readBody's stack: passing a
+	// stack array through the io.Reader interface makes it escape, and
+	// the pooled struct is already heap-resident.
+	hdr   [4]byte
+	probe [1]byte
+}
+
+var binReqPool = sync.Pool{New: func() any { return new(binReq) }}
+
+// readBody reads one length-prefixed payload into br.buf, enforcing the
+// size cap and exact framing.
+func (br *binReq) readBody(body io.Reader) error {
+	if _, err := io.ReadFull(body, br.hdr[:]); err != nil {
+		return badRequest("binary request: missing length prefix: %v", err)
+	}
+	n := binary.LittleEndian.Uint32(br.hdr[:])
+	if n > MaxBodyBytes {
+		return badRequest("binary payload %d exceeds %d bytes", n, MaxBodyBytes)
+	}
+	if cap(br.buf) < int(n) {
+		br.buf = make([]byte, n)
+	} else {
+		br.buf = br.buf[:n]
+	}
+	if _, err := io.ReadFull(body, br.buf); err != nil {
+		return badRequest("binary payload truncated: declared %d bytes: %v", n, err)
+	}
+	if m, _ := body.Read(br.probe[:]); m != 0 {
+		return badRequest("trailing data after binary payload")
+	}
+	return nil
+}
+
+// decode parses br.buf into br.q, applying the same validation the JSON
+// path applies. The query's slices alias br's backing arrays.
+func (br *binReq) decode() error {
+	b := br.buf
+	if len(b) < 4 {
+		return badRequest("binary request too short (%d payload bytes)", len(b))
+	}
+	version, kind, flags, nc := b[0], b[1], b[2], int(b[3])
+	b = b[4:]
+	if version != binVersion {
+		return badRequest("unsupported binary version %d (want %d)", version, binVersion)
+	}
+	q := &br.q
+	*q = query{}
+	switch kind {
+	case binKindComm:
+		q.kind = "comm"
+		if flags&^byte(binFlagDirToHost) != 0 {
+			return badRequest("unknown comm flags %#x", flags)
+		}
+		if flags&binFlagDirToHost != 0 {
+			q.dir = core.BackToHost
+		} else {
+			q.dir = core.HostToBack
+		}
+		if len(b) < 2 {
+			return badRequest("binary comm query: truncated data-set count")
+		}
+		ns := int(binary.LittleEndian.Uint16(b))
+		b = b[2:]
+		if ns == 0 {
+			return badRequest("comm query needs at least one data set")
+		}
+		if ns > MaxDataSets {
+			return badRequest("too many data sets (%d > %d)", ns, MaxDataSets)
+		}
+		if len(b) < ns*binDataSetBytes {
+			return badRequest("binary comm query: truncated data sets (%d of %d declared)",
+				len(b)/binDataSetBytes, ns)
+		}
+		sets := br.sets[:ns]
+		for i := range sets {
+			sets[i] = core.DataSet{
+				N:     int(binary.LittleEndian.Uint32(b)),
+				Words: int(binary.LittleEndian.Uint32(b[4:])),
+			}
+			b = b[binDataSetBytes:]
+		}
+		q.sets = sets
+	case binKindComp:
+		q.kind = "comp"
+		if flags&^byte(binFlagHasJ) != 0 {
+			return badRequest("unknown comp flags %#x", flags)
+		}
+		if len(b) < 8 {
+			return badRequest("binary comp query: truncated dcomp")
+		}
+		d := math.Float64frombits(binary.LittleEndian.Uint64(b))
+		b = b[8:]
+		if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
+			return badRequest("dcomp %v must be finite and non-negative", d)
+		}
+		q.dcomp = d
+		if flags&binFlagHasJ != 0 {
+			if len(b) < 4 {
+				return badRequest("binary comp query: truncated j")
+			}
+			q.j = int(binary.LittleEndian.Uint32(b))
+			q.hasJ = true
+			b = b[4:]
+		}
+	default:
+		return badRequest("unknown binary kind %d", kind)
+	}
+	if nc > MaxContenders {
+		return badRequest("too many contenders (%d > %d)", nc, MaxContenders)
+	}
+	if len(b) != nc*binContenderBytes {
+		return badRequest("binary contender block is %d bytes, want %d for %d contenders",
+			len(b), nc*binContenderBytes, nc)
+	}
+	cs := br.cs[:nc]
+	for i := range cs {
+		ct := core.Contender{
+			CommFraction: math.Float64frombits(binary.LittleEndian.Uint64(b)),
+			IOFraction:   math.Float64frombits(binary.LittleEndian.Uint64(b[8:])),
+			MsgWords:     int(binary.LittleEndian.Uint32(b[16:])),
+		}
+		if err := ct.Validate(); err != nil {
+			return badRequest("contenders[%d]: %v", i, err)
+		}
+		cs[i] = ct
+		b = b[binContenderBytes:]
+	}
+	q.cs = cs
+	return nil
+}
+
+// appendBinaryQuery encodes a validated query in the request format.
+func appendBinaryQuery(dst []byte, q query) []byte {
+	payload := 4 + len(q.cs)*binContenderBytes
+	var flags byte
+	if q.kind == "comm" {
+		payload += 2 + len(q.sets)*binDataSetBytes
+		if q.dir == core.BackToHost {
+			flags |= binFlagDirToHost
+		}
+	} else {
+		payload += 8
+		if q.hasJ {
+			payload += 4
+			flags |= binFlagHasJ
+		}
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(payload))
+	kind := byte(binKindComp)
+	if q.kind == "comm" {
+		kind = binKindComm
+	}
+	dst = append(dst, binVersion, kind, flags, byte(len(q.cs)))
+	if q.kind == "comm" {
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(q.sets)))
+		for _, s := range q.sets {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(s.N))
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(s.Words))
+		}
+	} else {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(q.dcomp))
+		if q.hasJ {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(q.j))
+		}
+	}
+	for _, c := range q.cs {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(c.CommFraction))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(c.IOFraction))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(c.MsgWords))
+	}
+	return dst
+}
+
+// AppendBinaryRequest validates req and appends its binary encoding to
+// dst — the client-side counterpart of the server's binary decoder
+// (used by cmd/loadgen and the round-trip tests). The contender count
+// after P-replication must fit the wire format's one-byte field (it
+// does: MaxContenders is 64).
+func AppendBinaryRequest(dst []byte, req *Request) ([]byte, error) {
+	q, err := req.validate()
+	if err != nil {
+		return nil, err
+	}
+	return appendBinaryQuery(dst, q), nil
+}
+
+// appendBinaryResponse encodes one response in the response format.
+func appendBinaryResponse(dst []byte, resp Response) []byte {
+	reason := resp.Reason
+	if len(reason) > math.MaxUint16 {
+		reason = reason[:math.MaxUint16]
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(16+len(reason)))
+	var flags byte
+	if resp.Degraded {
+		flags |= binRespDegraded
+	}
+	if resp.Fast {
+		flags |= binRespFast
+	}
+	dst = append(dst, binVersion, flags)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(reason)))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(resp.Value))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(resp.Batch))
+	return append(dst, reason...)
+}
+
+// ErrBinaryResponse reports a malformed binary response payload.
+var ErrBinaryResponse = errors.New("serve: malformed binary response")
+
+// DecodeBinaryResponse parses one length-prefixed binary response.
+func DecodeBinaryResponse(b []byte) (Response, error) {
+	if len(b) < 4 {
+		return Response{}, ErrBinaryResponse
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	if len(b) != n || n < 16 {
+		return Response{}, ErrBinaryResponse
+	}
+	if b[0] != binVersion {
+		return Response{}, ErrBinaryResponse
+	}
+	flags := b[1]
+	reasonLen := int(binary.LittleEndian.Uint16(b[2:]))
+	if n != 16+reasonLen {
+		return Response{}, ErrBinaryResponse
+	}
+	return Response{
+		Value:    math.Float64frombits(binary.LittleEndian.Uint64(b[4:])),
+		Batch:    int(binary.LittleEndian.Uint32(b[12:])),
+		Degraded: flags&binRespDegraded != 0,
+		Fast:     flags&binRespFast != 0,
+		Reason:   string(b[16:]),
+	}, nil
+}

@@ -24,4 +24,10 @@ var (
 		"end-to-end request latency in seconds", obs.DefaultSecondsBuckets())
 	mFlushSeconds = obs.NewHistogram(obs.MetricServeFlushSeconds,
 		"micro-batch flush duration in seconds", obs.DefaultSecondsBuckets())
+	mBinaryRequests = obs.NewCounter(obs.MetricServeBinaryRequests,
+		"prediction requests arriving in the binary wire format")
+	mFastHits = obs.NewCounter(obs.MetricServeFastHits,
+		"requests answered by the batcher-bypass fast path")
+	mFastMisses = obs.NewCounter(obs.MetricServeFastMisses,
+		"fast-path attempts that fell back to the batcher pipeline")
 )

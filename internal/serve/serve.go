@@ -96,6 +96,14 @@ type Config struct {
 	// Timeout is the per-request deadline ceiling applied by the HTTP
 	// handler. 0 selects DefaultTimeout.
 	Timeout time.Duration
+	// FastPath enables the batcher bypass: a request whose slowdown is
+	// already resident (precomputed surface or warm memo cache) and that
+	// wins an admission slot without waiting is answered inline —
+	// no batch window, no timer, no goroutine handoff. Answers carry
+	// Fast=true. Off by default: the bypass answers surface-resident
+	// keys from the interpolated surface, which is bit-exact only at
+	// grid nodes, so it is opt-in alongside AttachSurface.
+	FastPath bool
 }
 
 // Server is the prediction service. Build with New; it is goroutine-safe.
@@ -255,6 +263,41 @@ func (s *Server) Predict(ctx context.Context, q query) (Response, error) {
 	case <-ctx.Done():
 		return Response{}, fmt.Errorf("%w: %w", ErrDeadline, ctx.Err())
 	}
+}
+
+// tryFast answers a query without touching the batcher: the slowdown
+// must already be resident (surface or warm cache probe — core's Try
+// methods) and an admission slot must be free right now. Everything
+// else falls through to the full Predict pipeline, which owns waiting,
+// degradation, and error reporting. The whole path is allocation-free,
+// so it is safe against pooled (binary) query slices — nothing retains
+// them past the return.
+func (s *Server) tryFast(q *query) (Response, bool) {
+	if !s.cfg.FastPath || s.draining.Load() {
+		return Response{}, false
+	}
+	if !s.adm.TryAcquire() {
+		mFastMisses.Inc()
+		return Response{}, false
+	}
+	defer s.adm.Release()
+	var v float64
+	var ok bool
+	switch {
+	case q.kind == "comm":
+		v, ok = s.cfg.Pred.TryPredictComm(q.dir, q.sets, q.cs)
+	case q.hasJ:
+		v, ok = s.cfg.Pred.TryPredictCompWithJ(q.dcomp, q.cs, q.j)
+	default:
+		v, ok = s.cfg.Pred.TryPredictComp(q.dcomp, q.cs)
+	}
+	if !ok {
+		mFastMisses.Inc()
+		return Response{}, false
+	}
+	mFastHits.Inc()
+	mRequests.With(q.kind).Inc()
+	return Response{Value: v, Fast: true}, true
 }
 
 // predictDegraded answers via the Robust p+1 fallback.
@@ -510,6 +553,10 @@ func outcomeLabel(err error) string {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get("Content-Type") == ContentTypeBinary {
+		s.handlePredictBinary(w, r)
+		return
+	}
 	start := time.Now()
 	resp, err := s.servePredict(r)
 	mResponses.With(outcomeLabel(err)).Inc()
@@ -558,6 +605,63 @@ func (s *Server) servePredict(r *http.Request) (Response, error) {
 	if err != nil {
 		return Response{}, err
 	}
+	// Fast path before the deadline context: a resident answer needs no
+	// timer allocation and cannot block.
+	if resp, ok := s.tryFast(&q); ok {
+		return resp, nil
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(r))
+	defer cancel()
+	return s.Predict(ctx, q)
+}
+
+// handlePredictBinary is handlePredict for the binary wire format: the
+// request is decoded into a pooled workspace and, on the fast path, the
+// response is encoded from the same workspace — zero steady-state
+// allocations end to end. Pipeline errors are answered as the JSON
+// error envelope (the status code carries the verdict either way).
+func (s *Server) handlePredictBinary(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	mBinaryRequests.Inc()
+	br := binReqPool.Get().(*binReq)
+	resp, err := s.servePredictBinary(br, r)
+	mResponses.With(outcomeLabel(err)).Inc()
+	mRequestSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		binReqPool.Put(br)
+		status := statusFor(err)
+		if errors.Is(err, ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		setBackoffHint(w, status)
+		writeJSON(w, status, errorBody{Error: err.Error()})
+		return
+	}
+	br.out = appendBinaryResponse(br.out[:0], resp)
+	w.Header().Set("Content-Type", ContentTypeBinary)
+	_, _ = w.Write(br.out)
+	binReqPool.Put(br)
+}
+
+// servePredictBinary decodes one binary query into br and answers it.
+func (s *Server) servePredictBinary(br *binReq, r *http.Request) (Response, error) {
+	if err := br.readBody(r.Body); err != nil {
+		return Response{}, err
+	}
+	if err := br.decode(); err != nil {
+		return Response{}, err
+	}
+	if resp, ok := s.tryFast(&br.q); ok {
+		return resp, nil
+	}
+	// Slow path: the query's slices alias br's pooled backing arrays,
+	// but the batcher retains the query past this function's return (a
+	// peer's flush may still read it after our deadline fires). Clone
+	// before enqueueing; the allocation rides the path that runs a DP
+	// anyway.
+	q := br.q
+	q.cs = append([]core.Contender(nil), q.cs...)
+	q.sets = append([]core.DataSet(nil), q.sets...)
 	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(r))
 	defer cancel()
 	return s.Predict(ctx, q)
