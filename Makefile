@@ -3,7 +3,7 @@ GO ?= go
 # Label stamped into the benchmark snapshot written by `make bench`.
 LABEL ?= dev
 
-.PHONY: all build vet test race check bench benchcmp bench-regress bench-smoke fmt fuzz calibration-roundtrip obs-gate serve-gate serve-bench cluster-gate cluster-bench netchaos-gate remote-bench hotpath-gate hotpath-bench
+.PHONY: all build vet test race check bench benchcmp bench-regress bench-smoke fmt fuzz calibration-roundtrip obs-gate serve-gate serve-bench cluster-gate cluster-bench netchaos-gate remote-bench hotpath-gate hotpath-bench trace-gate
 
 all: check
 
@@ -137,8 +137,25 @@ hotpath-bench:
 	$(GO) run ./cmd/loadgen -binary -duration 3s -conc 8 -label $(LABEL) -o BENCH_$(LABEL)_hotpath.json -append
 	$(GO) run ./cmd/loadgen -binary -surface -duration 3s -conc 8 -label $(LABEL) -o BENCH_$(LABEL)_hotpath.json -append
 
+# Observability-plane gate: the trace context / sampler / SLO / quantile
+# / exposition-parse batteries, the serve span-tree and binary
+# trace-block tests with the unsampled warm-path allocation pin and the
+# tracing goroutine-leak check, the race-checked propagation
+# differential (balancer + two real replicas must emit ONE connected
+# span tree per sampled request), the fleet scrape/merge + /debug/fleet
+# battery, the stage-metric regression pin in benchjson, and a traced
+# loadgen smoke through a 2-replica fleet emitting per-stage
+# attribution metrics.
+trace-gate:
+	$(GO) test -run 'TestTraceContext|TestSampler|TestNewID|TestSLO|TestHistogramQuantile|TestMetricSnapshotQuantile|TestPrometheus|TestParsePrometheusText|TestMerge' ./internal/obs
+	$(GO) test -run 'TestTrace|TestBinaryTraceBlock|TestRequestID|TestUnsampledWarmPathAllocationFree|TestTracingNoGoroutineLeak' ./internal/serve
+	$(GO) test -race -run 'TestTracePropagationAcrossFleet|TestFleet|TestLB|TestReadySLODetail' ./internal/cluster
+	$(GO) test -run 'TestDiffRegressStageMetrics' ./cmd/benchjson
+	$(GO) run ./cmd/loadgen -cluster 2 -trace-sample 10 -stages -duration 1s -conc 4 -warmup 100ms > /dev/null
+	@echo "trace-gate: OK"
+
 # The full local gate: everything CI would run.
-check: build vet race fuzz calibration-roundtrip obs-gate serve-gate cluster-gate netchaos-gate hotpath-gate bench-smoke
+check: build vet race fuzz calibration-roundtrip obs-gate serve-gate cluster-gate netchaos-gate hotpath-gate trace-gate bench-smoke
 
 # Record a benchmark snapshot: full suite with allocation stats, parsed
 # into BENCH_$(LABEL).json for later `make benchcmp` diffs.

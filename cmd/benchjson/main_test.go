@@ -144,3 +144,36 @@ func TestDiffRegressGate(t *testing.T) {
 		}
 	}
 }
+
+// TestDiffRegressStageMetrics pins that the per-stage attribution
+// quantiles loadgen -stages emits (stage-<name>-p50-ms and friends)
+// are gated cost metrics: if a stage's latency grows past the
+// threshold between snapshots, bench-regress fails the build.
+func TestDiffRegressStageMetrics(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnap(t, dir, "old.json", Snapshot{Label: "seed", Benchmarks: []Benchmark{
+		{Name: "Loadgen/closed-conc8", Metrics: map[string]float64{
+			"stage-decode-p99-ms":  0.10,
+			"stage-compute-p50-ms": 0.40,
+			"req/s":                30000,
+		}},
+	}})
+	newPath := writeSnap(t, dir, "new.json", Snapshot{Label: "pr", Benchmarks: []Benchmark{
+		{Name: "Loadgen/closed-conc8", Metrics: map[string]float64{
+			"stage-decode-p99-ms":  0.50, // +400%: gated
+			"stage-compute-p50-ms": 0.44, // +10%: within threshold
+			"req/s":                28000,
+		}},
+	}})
+	var b strings.Builder
+	regs, err := diffSnapshots(&b, oldPath, newPath, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions %v, want exactly stage-decode-p99-ms", len(regs), regs)
+	}
+	if !strings.Contains(regs[0], "stage-decode-p99-ms") {
+		t.Errorf("regression is not the decode stage quantile: %v", regs)
+	}
+}

@@ -57,6 +57,10 @@ func main() {
 	useSurface := flag.Bool("surface", false, "precompute the slowdown surface at startup and enable the batcher-bypass fast path")
 	surfaceP := flag.Int("surface-max-p", 16, "largest homogeneous contender count covered by -surface")
 	surfaceCells := flag.Int("surface-cells", 512, "comm-fraction grid cells for -surface (power of two)")
+	traceSample := flag.Int("trace-sample", 0, "head-sample 1 in N headless requests into the span timeline (0 disables; propagated trace verdicts are always honored)")
+	sloLatency := flag.Duration("slo-latency", 0, "latency SLO threshold (0 disables the SLO tracker)")
+	sloLatencyTarget := flag.Float64("slo-latency-target", 0.99, "fraction of requests that must beat -slo-latency")
+	sloAvailability := flag.Float64("slo-availability", 0.999, "fraction of requests that must succeed")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	metrics := flag.Bool("metrics", false, "record telemetry and expose GET /metrics; implied by -metrics-addr and -run-report")
@@ -149,6 +153,19 @@ func main() {
 			st.Fills, st.MaxContenders, st.GridCells, st.Columns, st.MaxRelError)
 	}
 
+	var slo *obs.SLOTracker
+	if *sloLatency > 0 {
+		slo, err = obs.NewSLOTracker(obs.SLOConfig{
+			LatencyThresholdSeconds: sloLatency.Seconds(),
+			LatencyTarget:           *sloLatencyTarget,
+			AvailabilityTarget:      *sloAvailability,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "slo:", err)
+			os.Exit(1)
+		}
+	}
+
 	srv, err := serve.New(serve.Config{
 		Pred:        pred,
 		Tracker:     tracker,
@@ -159,6 +176,8 @@ func main() {
 		MaxQueue:    *maxQueue,
 		Timeout:     *timeout,
 		FastPath:    *useSurface,
+		Sampler:     obs.NewSampler(*traceSample),
+		SLO:         slo,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
@@ -219,6 +238,10 @@ func main() {
 		m.StartedAt = start.UTC().Format(time.RFC3339)
 		m.WallSeconds = time.Since(start).Seconds()
 		m.Spans = obs.DefaultTracer().Spans()
+		if slo != nil {
+			st := slo.Status()
+			m.SLO = &st
+		}
 		m.FillFromSnapshot(obs.Default().Snapshot())
 		if err := m.Write(*runReport); err != nil {
 			fmt.Fprintln(os.Stderr, "run-report:", err)

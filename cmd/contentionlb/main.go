@@ -13,7 +13,11 @@
 //	POST /v1/observe  — residual broadcast to every up replica
 //	GET  /healthz     — fleet health + per-member detail
 //	GET  /readyz      — 503 while draining or with zero replicas up
-//	GET  /metrics     — Prometheus text exposition (with -metrics)
+//	GET  /metrics     — Prometheus text exposition plus merged fleet_*
+//	                    member series (with -metrics)
+//	GET  /debug/fleet — fleet digest: members, ring weights, breakers,
+//	                    suspicion, per-stage p50/p99, SLO burn (HTML;
+//	                    JSON with ?format=json)
 //
 // Around the consistent-hash ring sit the robustness layers: per-replica
 // circuit breakers over a rolling error rate, load-aware spill past a
@@ -74,6 +78,11 @@ func main() {
 	suspectAfter := flag.Float64("suspect-after", cluster.DefaultSuspectAfter, "failure-detector threshold in learned heartbeat intervals of silence")
 	reload := flag.Duration("reload", time.Second, "members-file poll interval")
 	timeout := flag.Duration("timeout", serve.DefaultTimeout, "end-to-end request deadline")
+	traceSample := flag.Int("trace-sample", 0, "head-sample 1 in N headless requests into the span timeline (0 disables; propagated trace verdicts are always honored)")
+	sloLatency := flag.Duration("slo-latency", 0, "latency SLO threshold (0 disables the SLO tracker)")
+	sloLatencyTarget := flag.Float64("slo-latency-target", 0.99, "fraction of requests that must beat -slo-latency")
+	sloAvailability := flag.Float64("slo-availability", 0.999, "fraction of requests that must succeed")
+	fleetScrape := flag.Duration("fleet-scrape", cluster.DefaultFleetInterval, "member /metrics scrape period for the fleet_* aggregation and /debug/fleet (0 disables)")
 	metrics := flag.Bool("metrics", false, "record telemetry and expose GET /metrics; implied by -metrics-addr and -run-report")
 	metricsAddr := flag.String("metrics-addr", "", "also serve Prometheus text on http://ADDR/metrics and expvar on /debug/vars")
 	runReport := flag.String("run-report", "", "write a JSON run manifest to this file at exit (plus a Prometheus snapshot beside it)")
@@ -121,6 +130,12 @@ func main() {
 		if *calPath != "" {
 			args = append(args, "-cal", *calPath)
 		}
+		// Children must expose /metrics for the fleet_* aggregation to
+		// have anything to scrape; a member without it answers 404 and
+		// is silently skipped.
+		if *metrics || *fleetScrape > 0 {
+			args = append(args, "-metrics")
+		}
 		factory = cluster.ExecFactory(*execBin, args...)
 	default:
 		var cal *core.Calibration
@@ -135,6 +150,20 @@ func main() {
 		factory = cluster.InProcessFactory(cluster.InProcConfig{Cal: cal, Window: *window})
 	}
 
+	var slo *obs.SLOTracker
+	if *sloLatency > 0 {
+		var err error
+		slo, err = obs.NewSLOTracker(obs.SLOConfig{
+			LatencyThresholdSeconds: sloLatency.Seconds(),
+			LatencyTarget:           *sloLatencyTarget,
+			AvailabilityTarget:      *sloAvailability,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "slo:", err)
+			os.Exit(1)
+		}
+	}
+
 	c, err := cluster.New(cluster.Config{
 		Replicas:          *replicas,
 		Factory:           factory,
@@ -146,6 +175,8 @@ func main() {
 		HeartbeatInterval: *heartbeat,
 		SuspectAfter:      *suspectAfter,
 		Timeout:           *timeout,
+		Sampler:           obs.NewSampler(*traceSample),
+		SLO:               slo,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -199,8 +230,15 @@ func main() {
 
 	mux := http.NewServeMux()
 	mux.Handle("/", c.Handler())
+	fleet := cluster.NewFleet(c, cluster.FleetConfig{Interval: *fleetScrape, SLO: slo})
+	if *fleetScrape > 0 {
+		go fleet.Run(memStop)
+	}
+	mux.Handle("GET /debug/fleet", fleet.Handler())
 	if *metrics {
-		mux.Handle("GET /metrics", obs.Default().Handler())
+		// The balancer's exposition includes the merged fleet_* series
+		// from the latest member scrape.
+		mux.Handle("GET /metrics", fleet.MetricsHandler())
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -256,6 +294,10 @@ func main() {
 		m.StartedAt = start.UTC().Format(time.RFC3339)
 		m.WallSeconds = time.Since(start).Seconds()
 		m.Spans = obs.DefaultTracer().Spans()
+		if slo != nil {
+			st := slo.Status()
+			m.SLO = &st
+		}
 		m.FillFromSnapshot(obs.Default().Snapshot())
 		if err := m.Write(*runReport); err != nil {
 			fmt.Fprintln(os.Stderr, "run-report:", err)

@@ -42,6 +42,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -53,12 +54,14 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"contention/internal/cluster"
 	"contention/internal/core"
+	"contention/internal/obs"
 	"contention/internal/runner"
 	"contention/internal/serve"
 	"contention/internal/surface"
@@ -98,6 +101,8 @@ func main() {
 	membersPath := flag.String("members", "", "route to the remote members listed in this file (remote-only router in front); ignored with -addr")
 	binaryMode := flag.Bool("binary", false, "send requests in the binary wire format instead of JSON")
 	surfaceMode := flag.Bool("surface", false, "self-serve with a precomputed slowdown surface attached and the batcher-bypass fast path on (single in-process server only)")
+	traceSample := flag.Int("trace-sample", 0, "head-sample 1 in N requests into a propagated trace: the context rides the trace header (JSON) or the in-band binary trace block (0 disables)")
+	stagesOut := flag.Bool("stages", false, "record per-stage latency attribution on the self-served target and emit stage-*-p50/p99-ms metrics in the snapshot")
 	appendOut := flag.Bool("append", false, "append this run's benchmarks to the existing snapshot in -o instead of overwriting it")
 	flag.Parse()
 
@@ -121,6 +126,11 @@ func main() {
 	if *appendOut && *out == "" {
 		fmt.Fprintln(os.Stderr, "-append needs -o (the snapshot file to extend)")
 		os.Exit(2)
+	}
+	// Stage attribution and sampled traces both need telemetry on; with a
+	// self-served target the server side shares this process's registry.
+	if *stagesOut || *traceSample > 0 {
+		obs.SetEnabled(true)
 	}
 	target := *addr
 	remoteMembers := 0
@@ -163,16 +173,22 @@ func main() {
 	if *binaryMode {
 		contentType = serve.ContentTypeBinary
 	}
-	bodies := corpus(rand.New(rand.NewSource(*seed)), 512, *binaryMode)
+	bodies, traced := corpus(rand.New(rand.NewSource(*seed)), 512, *binaryMode)
+	sampler := obs.NewSampler(*traceSample)
 	if *warmup > 0 {
-		run(client, url, contentType, bodies, "closed", *conc, *rate, *warmup)
+		run(client, url, contentType, bodies, nil, nil, "closed", *conc, *rate, *warmup)
+	}
+	if *stagesOut {
+		// Drop warm-up observations so the stage quantiles cover only the
+		// measured run.
+		obs.Default().Reset()
 	}
 	// Mallocs delta across the measured run / successful requests gives a
 	// process-wide allocs/op trend line: client encode+decode cost, plus
 	// the whole server side when self-serving.
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
-	res := run(client, url, contentType, bodies, *mode, *conc, *rate, *duration)
+	res := run(client, url, contentType, bodies, traced, sampler, *mode, *conc, *rate, *duration)
 	runtime.ReadMemStats(&ms1)
 
 	if res.errors > 0 {
@@ -222,6 +238,11 @@ func main() {
 				"allocs/op": float64(ms1.Mallocs-ms0.Mallocs) / float64(len(res.latencies)),
 			},
 		}},
+	}
+	if *stagesOut {
+		for k, v := range stageMetrics(obs.Default().Snapshot()) {
+			snap.Benchmarks[0].Metrics[k] = v
+		}
 	}
 	fmt.Fprintf(os.Stderr, "%s: %d ok in %v — %.0f req/s, p50 %.3f ms, p99 %.3f ms, p99.9 %.3f ms, batched %.1f%%, fast %.1f%%, %.0f allocs/op\n",
 		name, len(res.latencies), res.elapsed.Round(time.Millisecond),
@@ -397,7 +418,13 @@ func selfServeRemote(n int, bin, membersPath string, window time.Duration) (stop
 // spec replicated p times, no I/O — the class the precomputed surface
 // covers, so -surface runs exercise the fast path on realistic sweeps
 // while the other half measures the heterogeneous fallback.
-func corpus(rng *rand.Rand, n int, binary bool) [][]byte {
+//
+// For the binary format a second, traced encoding of each body is also
+// returned: identical payload plus an in-band trace block holding
+// placeholder ids, which run patches per sampled request (the block
+// sits at fixed offsets right after the 4-byte header). traced is nil
+// for JSON — sampled JSON requests carry the trace header instead.
+func corpus(rng *rand.Rand, n int, binary bool) (bodies, traced [][]byte) {
 	mixes := make([][]serve.ContenderSpec, 12)
 	for m := range mixes {
 		p := rng.Intn(5)
@@ -420,7 +447,11 @@ func corpus(rng *rand.Rand, n int, binary bool) [][]byte {
 		}
 		mixes[m] = specs
 	}
-	bodies := make([][]byte, n)
+	bodies = make([][]byte, n)
+	if binary {
+		traced = make([][]byte, n)
+	}
+	placeholder := obs.TraceContext{TraceID: 1, Sampled: true}
 	for i := range bodies {
 		req := serve.Request{Contenders: mixes[rng.Intn(len(mixes))]}
 		if rng.Intn(2) == 0 {
@@ -441,6 +472,9 @@ func corpus(rng *rand.Rand, n int, binary bool) [][]byte {
 		)
 		if binary {
 			b, err = serve.AppendBinaryRequest(nil, &req)
+			if err == nil {
+				traced[i], err = serve.AppendBinaryRequestTraced(nil, &req, placeholder)
+			}
 		} else {
 			b, err = json.Marshal(&req)
 		}
@@ -449,7 +483,28 @@ func corpus(rng *rand.Rand, n int, binary bool) [][]byte {
 		}
 		bodies[i] = b
 	}
-	return bodies
+	return bodies, traced
+}
+
+// stageMetrics digests the serve_stage_seconds histograms into
+// stage-<name>-p50/p99-ms snapshot metrics — the `-ms` suffix makes
+// benchjson treat them as regress-guarded cost metrics.
+func stageMetrics(snap obs.Snapshot) map[string]float64 {
+	out := map[string]float64{}
+	prefix := obs.MetricServeStageSeconds + `{stage="`
+	for _, m := range snap.Metrics {
+		if !strings.HasPrefix(m.Name, prefix) || !strings.HasSuffix(m.Name, `"}`) {
+			continue
+		}
+		stage := m.Name[len(prefix) : len(m.Name)-2]
+		if p50, ok := m.Quantile(0.5); ok {
+			out["stage-"+stage+"-p50-ms"] = p50 * 1e3
+		}
+		if p99, ok := m.Quantile(0.99); ok {
+			out["stage-"+stage+"-p99-ms"] = p99 * 1e3
+		}
+	}
+	return out
 }
 
 // result accumulates one run's outcomes.
@@ -467,8 +522,10 @@ func (r *result) total() int64 { return int64(len(r.latencies)) + r.errors }
 // run executes one generator run and returns the measured outcomes.
 // Binary-format responses only arrive with status 200 — pipeline errors
 // come back as the JSON envelope regardless of the request format, so
-// non-200 is recorded off the status alone.
-func run(client *http.Client, url, contentType string, bodies [][]byte, mode string, conc int, rate float64, d time.Duration) *result {
+// non-200 is recorded off the status alone. When sampler fires for a
+// request, a fresh root trace context rides along — patched into the
+// traced binary body when one exists, the trace header otherwise.
+func run(client *http.Client, url, contentType string, bodies, traced [][]byte, sampler *obs.Sampler, mode string, conc int, rate float64, d time.Duration) *result {
 	res := &result{}
 	var mu sync.Mutex
 	record := func(lat time.Duration, out serve.Response, err error) {
@@ -489,10 +546,39 @@ func run(client *http.Client, url, contentType string, bodies [][]byte, mode str
 			res.fast.Add(1)
 		}
 	}
-	binary := contentType == serve.ContentTypeBinary
-	one := func(body []byte) {
+	binaryFmt := contentType == serve.ContentTypeBinary
+	one := func(idx int) {
+		body := bodies[idx]
+		traceHdr := ""
+		if sampler.Sample() {
+			tc := obs.NewRootContext(true)
+			if traced != nil {
+				// Patch the placeholder ids in the pre-encoded trace block,
+				// which sits at a fixed offset: u32 length prefix, 4-byte
+				// header, then u64 trace id + u64 span id.
+				buf := append([]byte(nil), traced[idx]...)
+				binary.LittleEndian.PutUint64(buf[8:], tc.TraceID)
+				binary.LittleEndian.PutUint64(buf[16:], tc.SpanID)
+				body = buf
+			} else {
+				traceHdr = tc.String()
+			}
+		}
 		t0 := time.Now()
-		resp, err := client.Post(url, contentType, bytes.NewReader(body))
+		var resp *http.Response
+		var err error
+		if traceHdr != "" {
+			req, rerr := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+			if rerr != nil {
+				record(0, serve.Response{}, rerr)
+				return
+			}
+			req.Header.Set("Content-Type", contentType)
+			req.Header.Set(serve.TraceHeader, traceHdr)
+			resp, err = client.Do(req)
+		} else {
+			resp, err = client.Post(url, contentType, bytes.NewReader(body))
+		}
 		lat := time.Since(t0)
 		if err != nil {
 			record(0, serve.Response{}, err)
@@ -500,7 +586,7 @@ func run(client *http.Client, url, contentType string, bodies [][]byte, mode str
 		}
 		var out serve.Response
 		var decErr error
-		if binary && resp.StatusCode == http.StatusOK {
+		if binaryFmt && resp.StatusCode == http.StatusOK {
 			var raw []byte
 			raw, decErr = io.ReadAll(resp.Body)
 			if decErr == nil {
@@ -532,7 +618,7 @@ func run(client *http.Client, url, contentType string, bodies [][]byte, mode str
 				defer wg.Done()
 				lrng := rand.New(rand.NewSource(int64(w) + 101))
 				for time.Now().Before(deadline) {
-					one(bodies[lrng.Intn(len(bodies))])
+					one(lrng.Intn(len(bodies)))
 				}
 			}(w)
 		}
@@ -553,14 +639,14 @@ func run(client *http.Client, url, contentType string, bodies [][]byte, mode str
 			if now.After(deadline) {
 				break arrivals
 			}
-			body := bodies[lrng.Intn(len(bodies))]
+			idx := lrng.Intn(len(bodies))
 			select {
 			case sem <- struct{}{}:
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
 					defer func() { <-sem }()
-					one(body)
+					one(idx)
 				}()
 			default:
 				record(0, serve.Response{}, fmt.Errorf("open-loop overload: %d requests in flight", cap(sem)))

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"contention/internal/obs"
 	"contention/internal/rm"
 	"contention/internal/serve"
 )
@@ -101,6 +102,14 @@ type Config struct {
 	// DefaultSuspectAfter; explicit values below 1 are a validation
 	// error (they would suspect members faster than one heartbeat).
 	SuspectAfter float64
+	// Sampler is the head-sampling knob for request tracing: requests
+	// arriving without a trace header consult it once, and the verdict
+	// rides the X-Contention-Trace header to the replicas. Nil never
+	// samples.
+	Sampler *obs.Sampler
+	// SLO, when set, receives every front-door request outcome for
+	// burn-rate tracking (client faults excluded).
+	SLO *obs.SLOTracker
 }
 
 func (cfg Config) withDefaults() Config {
@@ -761,8 +770,9 @@ func (r tryResult) retryable() bool {
 }
 
 // route sends body to the replicas owning key, in ring-affinity order
-// with load-aware spill, bounded retries, and optional hedging.
-func (c *Cluster) route(ctx context.Context, key string, body []byte) tryResult {
+// with load-aware spill, bounded retries, and optional hedging. meta
+// carries the request's correlation state onto every attempt's wire.
+func (c *Cluster) route(ctx context.Context, key string, body []byte, meta reqMeta) tryResult {
 	ids := c.ring.Load().Sequence(key, c.cfg.Candidates)
 	if len(ids) == 0 {
 		return tryResult{err: ErrNoReplica}
@@ -816,9 +826,9 @@ func (c *Cluster) route(ctx context.Context, key string, body []byte) tryResult 
 		tries++
 		var res tryResult
 		if tries == 1 && c.cfg.HedgeDelay > 0 {
-			res = c.hedged(ctx, m, cands, body)
+			res = c.hedged(ctx, m, cands, body, meta)
 		} else {
-			res = c.attempt(ctx, m, body)
+			res = c.attempt(ctx, m, body, meta)
 		}
 		last = res
 		if !res.retryable() {
@@ -838,7 +848,7 @@ func (c *Cluster) route(ctx context.Context, key string, body []byte) tryResult 
 // failure caused by the requesting client (cancel, disconnect) or by
 // the request deadline expiring is forgiven — the replica did nothing
 // wrong, and counting it would let misbehaving clients trip breakers.
-func (c *Cluster) attempt(ctx context.Context, m *member, body []byte) tryResult {
+func (c *Cluster) attempt(ctx context.Context, m *member, body []byte, meta reqMeta) tryResult {
 	addr := m.currentAddr()
 	if addr == "" {
 		m.breaker.Record(false)
@@ -846,6 +856,12 @@ func (c *Cluster) attempt(ctx context.Context, m *member, body []byte) tryResult
 	}
 	m.inflight.Add(1)
 	defer m.inflight.Add(-1)
+	// Sampled requests get a per-attempt span whose context rides the
+	// trace header, so the replica's spans parent into this attempt (an
+	// unsampled or traceless meta passes through StartCtx unchanged at
+	// no cost).
+	span, wtc := obs.DefaultTracer().StartCtx("lb", "attempt", meta.tc)
+	defer span.End()
 	tctx, cancel := context.WithTimeout(ctx, c.cfg.PerTryTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(tctx, http.MethodPost, "http://"+addr+"/v1/predict", bytes.NewReader(body))
@@ -854,6 +870,12 @@ func (c *Cluster) attempt(ctx context.Context, m *member, body []byte) tryResult
 		return tryResult{err: err}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if wtc.Valid() {
+		req.Header.Set(serve.TraceHeader, wtc.String())
+	}
+	if meta.rid != "" {
+		req.Header.Set(serve.RequestIDHeader, meta.rid)
+	}
 	// Propagate the remaining request deadline so the replica can bound
 	// its own work (batching window, queue wait) to time someone is
 	// still waiting for.
@@ -900,7 +922,7 @@ func (c *Cluster) classifyTransportErr(ctx context.Context, m *member, err error
 // healthy candidate: if the primary has not answered within HedgeDelay
 // (a stall, a long batch window, a GC pause), the hedge usually wins
 // and the request rides out the hiccup at the cost of one duplicate.
-func (c *Cluster) hedged(ctx context.Context, primary *member, cands []*member, body []byte) tryResult {
+func (c *Cluster) hedged(ctx context.Context, primary *member, cands []*member, body []byte, meta reqMeta) tryResult {
 	var backup *member
 	for _, m := range cands {
 		if m != primary && m.up() && m.breaker.State() != Open {
@@ -909,13 +931,13 @@ func (c *Cluster) hedged(ctx context.Context, primary *member, cands []*member, 
 		}
 	}
 	if backup == nil {
-		return c.attempt(ctx, primary, body)
+		return c.attempt(ctx, primary, body, meta)
 	}
 	ch := make(chan tryResult, 2)
 	c.bg.Add(1)
 	go func() {
 		defer c.bg.Done()
-		ch <- c.attempt(ctx, primary, body)
+		ch <- c.attempt(ctx, primary, body, meta)
 	}()
 	t := time.NewTimer(c.cfg.HedgeDelay)
 	defer t.Stop()
@@ -930,7 +952,7 @@ func (c *Cluster) hedged(ctx context.Context, primary *member, cands []*member, 
 			c.bg.Add(1)
 			go func() {
 				defer c.bg.Done()
-				ch <- c.attempt(ctx, backup, body)
+				ch <- c.attempt(ctx, backup, body, meta)
 			}()
 		}
 	}
@@ -1114,15 +1136,31 @@ func (c *Cluster) Handler() http.Handler {
 	return mux
 }
 
-// writeError emits the same JSON error envelope as serve, with the
-// Retry-After back-off hint on 429/503.
+// errEnvelope is the JSON error body — the same shape serve emits, so
+// clients parse one envelope regardless of which tier refused them.
+type errEnvelope struct {
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// writeError emits the JSON error envelope with the Retry-After
+// back-off hint on 429/503.
 func writeError(w http.ResponseWriter, status int, msg string) {
+	writeErrorID(w, status, msg, "")
+}
+
+// writeErrorID is writeError plus request-id correlation: when rid is
+// non-empty it is set as X-Request-Id and embedded in the envelope.
+func writeErrorID(w http.ResponseWriter, status int, msg, rid string) {
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", serve.RetryAfterSeconds)
 	}
+	if rid != "" {
+		w.Header().Set(serve.RequestIDHeader, rid)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	_ = json.NewEncoder(w).Encode(errEnvelope{Error: msg, RequestID: rid})
 }
 
 func (c *Cluster) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -1133,15 +1171,27 @@ func (c *Cluster) handlePredict(w http.ResponseWriter, r *http.Request) {
 		mRouteSeconds.Observe(time.Since(start).Seconds())
 	}()
 
+	lt, ptc := c.requestTrace(r)
+	defer lt.end()
+	meta := reqMeta{rid: r.Header.Get(serve.RequestIDHeader), tc: ptc}
+	// errorID is the correlation id for failure responses: the client's
+	// own X-Request-Id when present, otherwise minted on first use.
+	errorID := func() string {
+		if meta.rid == "" {
+			meta.rid = obs.HexID(obs.NewID())
+		}
+		return meta.rid
+	}
+
 	if c.draining.Load() {
 		outcome = "draining"
-		writeError(w, http.StatusServiceUnavailable, "cluster draining")
+		writeErrorID(w, http.StatusServiceUnavailable, "cluster draining", errorID())
 		return
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, serve.MaxBodyBytes+1))
 	if err != nil {
 		outcome = "bad_request"
-		writeError(w, http.StatusBadRequest, "read body: "+err.Error())
+		writeErrorID(w, http.StatusBadRequest, "read body: "+err.Error(), errorID())
 		return
 	}
 	req, err := serve.DecodeRequest(bytes.NewReader(body))
@@ -1149,6 +1199,9 @@ func (c *Cluster) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if err == nil {
 		key, err = req.BatchKey()
 	}
+	decodeDone := time.Now()
+	lbStDecode.Observe(decodeDone.Sub(start).Seconds())
+	lt.stage("decode", start, decodeDone)
 	if err != nil {
 		outcome = "bad_request"
 		status := http.StatusBadRequest
@@ -1156,51 +1209,67 @@ func (c *Cluster) handlePredict(w http.ResponseWriter, r *http.Request) {
 		if errors.As(err, &reqErr) {
 			status = reqErr.Status
 		}
-		writeError(w, status, err.Error())
+		writeErrorID(w, status, err.Error(), errorID())
 		return
 	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), c.cfg.Timeout)
 	defer cancel()
 	if err := c.adm.Acquire(ctx); err != nil {
+		c.recordSLO(start, true, false)
 		if errors.Is(err, rm.ErrSubmitTimeout) {
 			outcome = "timeout"
-			writeError(w, http.StatusGatewayTimeout, err.Error())
+			writeErrorID(w, http.StatusGatewayTimeout, err.Error(), errorID())
 			return
 		}
 		outcome = "rejected"
-		writeError(w, http.StatusTooManyRequests, err.Error())
+		writeErrorID(w, http.StatusTooManyRequests, err.Error(), errorID())
 		return
 	}
 	defer c.adm.Release()
 	c.grantRetryCredit()
 
-	res := c.route(ctx, key, body)
+	routeStart := time.Now()
+	res := c.route(ctx, key, body, meta)
+	routeDone := time.Now()
+	lbStRoute.Observe(routeDone.Sub(routeStart).Seconds())
+	lt.stage("route", routeStart, routeDone)
 	if res.err != nil {
+		clientGone := errors.Is(res.err, ErrClientGone)
+		c.recordSLO(start, true, clientGone)
 		switch {
-		case errors.Is(res.err, ErrClientGone):
+		case clientGone:
 			// Nobody is listening; the status code exists for logs and
 			// outcome metrics only (nginx's 499 convention).
 			outcome = "client_gone"
-			writeError(w, StatusClientClosedRequest, res.err.Error())
+			writeErrorID(w, StatusClientClosedRequest, res.err.Error(), errorID())
 		case errors.Is(res.err, context.DeadlineExceeded):
 			outcome = "timeout"
-			writeError(w, http.StatusGatewayTimeout, res.err.Error())
+			writeErrorID(w, http.StatusGatewayTimeout, res.err.Error(), errorID())
 		default:
 			outcome = "unavailable"
-			writeError(w, http.StatusServiceUnavailable, fmt.Sprintf("%v: %v", ErrNoReplica, res.err))
+			writeErrorID(w, http.StatusServiceUnavailable, fmt.Sprintf("%v: %v", ErrNoReplica, res.err), errorID())
 		}
 		return
 	}
 	if res.status != http.StatusOK {
 		outcome = fmt.Sprintf("upstream_%d", res.status)
 	}
+	// Upstream 4xx are the client's fault; everything else counts.
+	c.recordSLO(start, res.status != http.StatusOK,
+		res.status >= 400 && res.status < 500 && res.status != http.StatusTooManyRequests)
 	if res.status == http.StatusTooManyRequests || res.status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", serve.RetryAfterSeconds)
+	}
+	if meta.rid != "" {
+		w.Header().Set(serve.RequestIDHeader, meta.rid)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(res.status)
 	_, _ = w.Write(res.body)
+	encodeDone := time.Now()
+	lbStEncode.Observe(encodeDone.Sub(routeDone).Seconds())
+	lt.stage("encode", routeDone, encodeDone)
 }
 
 // observeResult is the /v1/observe broadcast summary.
@@ -1295,10 +1364,13 @@ func (c *Cluster) handleHealth(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(h)
 }
 
-// readyBody mirrors serve's /readyz shape.
+// readyBody mirrors serve's /readyz shape. An SLO breach is reported in
+// the detail but does not flip readiness — yanking the balancer for
+// being slow would shed the capacity needed to recover.
 type readyBody struct {
-	Ready  bool   `json:"ready"`
-	Reason string `json:"reason,omitempty"`
+	Ready  bool           `json:"ready"`
+	Reason string         `json:"reason,omitempty"`
+	SLO    *obs.SLOStatus `json:"slo,omitempty"`
 }
 
 func (c *Cluster) handleReady(w http.ResponseWriter, r *http.Request) {
@@ -1313,7 +1385,12 @@ func (c *Cluster) handleReady(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, reason)
 		return
 	}
+	body := readyBody{Ready: true}
+	if c.cfg.SLO != nil {
+		st := c.cfg.SLO.Status()
+		body.SLO = &st
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
-	_ = json.NewEncoder(w).Encode(readyBody{Ready: true})
+	_ = json.NewEncoder(w).Encode(body)
 }

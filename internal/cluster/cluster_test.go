@@ -24,6 +24,9 @@ type fakeReplica struct {
 	fail    atomic.Bool  // respond 500 to predicts
 	hfail   atomic.Bool  // respond 500 to health probes (silences heartbeats)
 	stallMS atomic.Int64 // delay predicts by this many ms
+	metrics atomic.Value // string: /metrics page body ("" -> 404, like a daemon without -metrics)
+	mfail   atomic.Bool  // respond 500 to /metrics
+	lastRID atomic.Value // string: X-Request-Id of the last predict served
 	done    chan struct{}
 	once    sync.Once
 }
@@ -40,6 +43,7 @@ func newFakeReplica(id, gen int) *fakeReplica {
 			}
 		}
 		f.hits.Add(1)
+		f.lastRID.Store(r.Header.Get("X-Request-Id"))
 		if f.fail.Load() {
 			w.WriteHeader(http.StatusInternalServerError)
 			fmt.Fprintf(w, `{"error":"injected"}`)
@@ -57,6 +61,19 @@ func newFakeReplica(id, gen int) *fakeReplica {
 			return
 		}
 		fmt.Fprintf(w, `{"status":"ok","trust":"fresh"}`)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if f.mfail.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		page, _ := f.metrics.Load().(string)
+		if page == "" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, page)
 	})
 	f.ts = httptest.NewServer(mux)
 	return f

@@ -35,4 +35,14 @@ var (
 		"attempts abandoned because the requesting client vanished")
 	mReloads = obs.NewCounterVec(obs.MetricClusterReloads,
 		"membership file reloads, by outcome", "outcome")
+
+	// Fleet metrics aggregation (the /debug/fleet scraper).
+	mFleetScrapes = obs.NewCounter(obs.MetricFleetScrapes,
+		"fleet metrics scrape rounds attempted")
+	mFleetScrapeErrors = obs.NewCounter(obs.MetricFleetScrapeErrors,
+		"member metrics pages that failed to fetch or parse")
+	mFleetMembersSeen = obs.NewGauge(obs.MetricFleetMembersSeen,
+		"members whose metrics the last scrape round captured")
+	mFleetScrapeSeconds = obs.NewHistogram(obs.MetricFleetScrapeSeconds,
+		"wall time per fleet scrape round in seconds", obs.DefaultSecondsBuckets())
 )

@@ -17,7 +17,12 @@ import (
 // `# HELP` / `# TYPE` header per base family, histograms expanded into
 // cumulative `_bucket{le=...}` series plus `_sum` and `_count`.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	snap := r.Snapshot()
+	return r.Snapshot().WritePrometheus(w)
+}
+
+// WritePrometheus renders a frozen snapshot in the same text format —
+// the fleet scraper writes merged member snapshots through this path.
+func (snap Snapshot) WritePrometheus(w io.Writer) error {
 	lastBase := ""
 	for _, m := range snap.Metrics {
 		base := m.Name

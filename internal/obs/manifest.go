@@ -110,6 +110,9 @@ type Manifest struct {
 	Faults      map[string]int64   `json:"faults,omitempty"`
 	Reliability *ReliabilityReport `json:"reliability,omitempty"`
 	Serving     *ServingReport     `json:"serving,omitempty"`
+	// SLO is the objective tracker's state at exit (burn rates over both
+	// windows, breach verdict); absent when no SLO was configured.
+	SLO *SLOStatus `json:"slo,omitempty"`
 
 	// Spans is the span log (virtual or wall clock, per tracer).
 	Spans []SpanRecord `json:"spans,omitempty"`

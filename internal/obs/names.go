@@ -84,6 +84,25 @@ const (
 	MetricClusterReplicasUp   = "cluster_replicas_up"
 	MetricClusterRouteSeconds = "cluster_route_seconds"
 
+	// internal/serve + internal/cluster — per-stage latency attribution
+	// (the observability plane). One histogram per pipeline stage.
+	MetricServeStageSeconds   = "serve_stage_seconds"   // label: stage (decode | admission | batch-wait | compute | surface | encode)
+	MetricClusterStageSeconds = "cluster_stage_seconds" // label: stage (decode | route | encode)
+
+	// internal/obs — trace sampling and the SLO plane.
+	MetricTraceSampled       = "trace_sampled_total"
+	MetricSLOLatencyBurnFast = "slo_latency_burn_fast"
+	MetricSLOLatencyBurnSlow = "slo_latency_burn_slow"
+	MetricSLOAvailBurnFast   = "slo_availability_burn_fast"
+	MetricSLOAvailBurnSlow   = "slo_availability_burn_slow"
+	MetricSLOBreach          = "slo_breach"
+
+	// internal/cluster — the fleet metrics scraper behind /debug/fleet.
+	MetricFleetScrapes       = "fleet_scrapes_total"
+	MetricFleetScrapeErrors  = "fleet_scrape_errors_total"
+	MetricFleetMembersSeen   = "fleet_members_scraped"
+	MetricFleetScrapeSeconds = "fleet_scrape_seconds"
+
 	// internal/cluster — multi-host membership and failure detection.
 	MetricClusterSuspects     = "cluster_suspects_total"           // remote members suspected by the failure detector
 	MetricClusterRejoins      = "cluster_rejoins_total"            // suspect members readmitted after a heartbeat

@@ -62,3 +62,9 @@ func NewCounterVec(name, help, label string) *CounterVec {
 func NewGaugeVec(name, help, label string) *GaugeVec {
 	return std.GaugeVec(name, help, label)
 }
+
+// NewHistogramVec returns a labelled histogram family on the default
+// registry.
+func NewHistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	return std.HistogramVec(name, help, label, bounds)
+}

@@ -1,0 +1,95 @@
+package obs
+
+import "math"
+
+// HistogramQuantile estimates the q-th quantile of a histogram from its
+// cumulative buckets by linear interpolation inside the bucket that
+// crosses the target rank — the same estimator Prometheus's
+// histogram_quantile uses, shared here so the fleet page, the SLO
+// tracker, and loadgen stop doing ad-hoc percentile math.
+//
+// Semantics at the edges:
+//   - no observations (or no buckets): NaN
+//   - q <= 0: the lower edge of the first occupied bucket
+//   - q >= 1: the upper edge of the last occupied bucket
+//   - rank lands in the +Inf overflow bucket: the highest finite bound
+//     (there is nothing to interpolate toward), or NaN if every
+//     observation overflowed a single-bucket histogram.
+//
+// buckets must be cumulative with ascending bounds, as produced by
+// Snapshot — the last bucket's count is the total observation count.
+func HistogramQuantile(buckets []BucketSnapshot, q float64) float64 {
+	if len(buckets) == 0 {
+		return math.NaN()
+	}
+	total := buckets[len(buckets)-1].Count
+	if total <= 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	// Find the first bucket whose cumulative count reaches the rank.
+	idx := len(buckets) - 1
+	for i, b := range buckets {
+		if float64(b.Count) >= rank && b.Count > 0 {
+			idx = i
+			break
+		}
+	}
+	upper := buckets[idx].UpperBound
+	lower := 0.0
+	prev := int64(0)
+	if idx > 0 {
+		lower = buckets[idx-1].UpperBound
+		prev = buckets[idx-1].Count
+	}
+	if math.IsInf(upper, 1) {
+		// Overflow bucket: report the highest finite bound rather than
+		// inventing a value beyond the histogram's resolution.
+		if idx == 0 {
+			return math.NaN()
+		}
+		return lower
+	}
+	in := buckets[idx].Count - prev
+	if in <= 0 {
+		return upper
+	}
+	frac := (rank - float64(prev)) / float64(in)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return lower + (upper-lower)*frac
+}
+
+// Quantile estimates the q-th quantile of a snapshotted histogram
+// series; ok is false for non-histogram series or one with no
+// observations.
+func (m MetricSnapshot) Quantile(q float64) (v float64, ok bool) {
+	if m.Kind != KindHistogram.String() || m.Count <= 0 {
+		return 0, false
+	}
+	v = HistogramQuantile(m.Buckets, q)
+	if math.IsNaN(v) {
+		return 0, false
+	}
+	return v, true
+}
+
+// Find returns the snapshotted series with the exact name.
+func (s Snapshot) Find(name string) (MetricSnapshot, bool) {
+	for _, m := range s.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return MetricSnapshot{}, false
+}

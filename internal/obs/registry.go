@@ -338,6 +338,37 @@ func (v *GaugeVec) With(value string) *Gauge {
 	return g
 }
 
+// HistogramVec is the histogram analogue of CounterVec: one histogram
+// per label value, all sharing one base name and bucket layout.
+type HistogramVec struct {
+	r      *Registry
+	base   string
+	help   string
+	label  string
+	bounds []float64
+
+	mu sync.Mutex
+	by map[string]*Histogram
+}
+
+// HistogramVec registers a labelled histogram family.
+func (r *Registry) HistogramVec(base, help, label string, bounds []float64) *HistogramVec {
+	return &HistogramVec{r: r, base: base, help: help, label: label,
+		bounds: append([]float64(nil), bounds...), by: map[string]*Histogram{}}
+}
+
+// With returns the histogram for one label value.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok := v.by[value]; ok {
+		return h
+	}
+	h := v.r.Histogram(Label(v.base, v.label, value), v.help, v.bounds)
+	v.by[value] = h
+	return h
+}
+
 // BucketSnapshot is one cumulative histogram bucket.
 type BucketSnapshot struct {
 	UpperBound float64 `json:"-"`

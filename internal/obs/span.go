@@ -23,13 +23,25 @@ func WallClock() Clock {
 	return func() float64 { return time.Since(processStart).Seconds() }
 }
 
+// SinceStart converts a wall-clock instant to the WallClock timebase
+// (seconds since process start), so code that measured stages with
+// time.Now can record them as spans on the default tracer.
+func SinceStart(t time.Time) float64 { return t.Sub(processStart).Seconds() }
+
 // SpanRecord is one finished (or still-open, End < Start is never
-// emitted; open spans have End == Start at export time) span.
+// emitted; open spans have End == Start at export time) span. Spans
+// recorded under a sampled TraceContext additionally carry hex trace,
+// span, and parent-span ids; plain Start/StartSpan spans leave them
+// empty, so pre-tracing manifests are byte-identical.
 type SpanRecord struct {
 	Actor string  `json:"actor"`
 	Name  string  `json:"name"`
 	Start float64 `json:"start"`
 	End   float64 `json:"end"`
+
+	Trace  string `json:"trace,omitempty"`
+	Span   string `json:"span,omitempty"`
+	Parent string `json:"parent,omitempty"`
 }
 
 // Duration returns End - Start.
@@ -61,12 +73,15 @@ func NewTracer(clock Clock, maxSpans int) *Tracer {
 }
 
 // Span is an in-flight interval; End finishes it. A nil *Span (from a
-// nil or disabled tracer) is inert.
+// nil or disabled tracer, or an unsampled trace context) is inert.
 type Span struct {
-	t     *Tracer
-	actor string
-	name  string
-	start float64
+	t      *Tracer
+	actor  string
+	name   string
+	start  float64
+	trace  uint64
+	id     uint64
+	parent uint64
 }
 
 // Start opens a span for actor entering name. While telemetry is
@@ -76,6 +91,30 @@ func (t *Tracer) Start(actor, name string) *Span {
 		return nil
 	}
 	return &Span{t: t, actor: actor, name: name, start: t.clock()}
+}
+
+// StartCtx opens a span inside trace tc and returns, alongside the
+// span, the context downstream work should carry (same trace, this span
+// as parent). Unsampled, invalid, or disabled contexts cost nothing:
+// the span is nil and tc passes through unchanged, so propagation is
+// preserved even where recording is off.
+func (t *Tracer) StartCtx(actor, name string, tc TraceContext) (*Span, TraceContext) {
+	if t == nil || !enabled.Load() || !tc.Sampled || !tc.Valid() {
+		return nil, tc
+	}
+	id := NewID()
+	s := &Span{t: t, actor: actor, name: name, start: t.clock(),
+		trace: tc.TraceID, id: id, parent: tc.SpanID}
+	return s, TraceContext{TraceID: tc.TraceID, SpanID: id, Sampled: true}
+}
+
+// Context returns the trace context rooted at this span (zero for spans
+// outside any trace, including nil spans).
+func (s *Span) Context() TraceContext {
+	if s == nil || s.trace == 0 {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: s.trace, SpanID: s.id, Sampled: true}
 }
 
 // End closes the span and returns its duration in clock seconds
@@ -89,14 +128,58 @@ func (s *Span) End() float64 {
 		end = s.start
 	}
 	rec := SpanRecord{Actor: s.actor, Name: s.name, Start: s.start, End: end}
-	s.t.mu.Lock()
-	if len(s.t.spans) < s.t.max {
-		s.t.spans = append(s.t.spans, rec)
-	} else {
-		s.t.dropped++
+	if s.trace != 0 {
+		rec.Trace = hex64(s.trace)
+		rec.Span = hex64(s.id)
+		if s.parent != 0 {
+			rec.Parent = hex64(s.parent)
+		}
 	}
-	s.t.mu.Unlock()
+	s.t.append(rec)
 	return rec.Duration()
+}
+
+// RecordSpan appends an already-measured interval as a child span of
+// tc — the retroactive form used by per-stage attribution, where stage
+// boundaries are timed unconditionally (for histograms) and only
+// promoted to spans when the request is sampled. Times are in the
+// tracer's clock timebase. No-op (and allocation-free) when the tracer
+// is nil, telemetry is disabled, or tc is unsampled.
+func (t *Tracer) RecordSpan(actor, name string, start, end float64, tc TraceContext) {
+	if t == nil || !enabled.Load() || !tc.Sampled || !tc.Valid() {
+		return
+	}
+	if end < start {
+		end = start
+	}
+	t.append(SpanRecord{
+		Actor: actor, Name: name, Start: start, End: end,
+		Trace: hex64(tc.TraceID), Span: hex64(NewID()), Parent: hex64(tc.SpanID),
+	})
+}
+
+func (t *Tracer) append(rec SpanRecord) {
+	t.mu.Lock()
+	if len(t.spans) < t.max {
+		t.spans = append(t.spans, rec)
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// HexID renders an id the way the wire format does: 16 hex digits.
+func HexID(v uint64) string { return hex64(v) }
+
+// hex64 renders an id the way the wire format does: 16 hex digits.
+func hex64(v uint64) string {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
 }
 
 // Spans returns the finished spans sorted by start time (ties broken by

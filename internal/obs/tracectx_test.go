@@ -1,0 +1,113 @@
+package obs
+
+import "testing"
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	cases := []TraceContext{
+		{TraceID: 1, SpanID: 0, Sampled: false},
+		{TraceID: 1, SpanID: 0, Sampled: true},
+		{TraceID: 0xdeadbeefcafef00d, SpanID: 0x0123456789abcdef, Sampled: true},
+		{TraceID: ^uint64(0), SpanID: ^uint64(0), Sampled: false},
+	}
+	for _, tc := range cases {
+		s := tc.String()
+		if len(s) != 36 {
+			t.Fatalf("String(%+v) = %q, want 36 bytes", tc, s)
+		}
+		got, ok := ParseTraceContext(s)
+		if !ok || got != tc {
+			t.Fatalf("round trip %+v -> %q -> %+v ok=%v", tc, s, got, ok)
+		}
+	}
+}
+
+func TestTraceContextParseRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"0000000000000001",                      // too short
+		"0000000000000001-0000000000000002-01x", // too long
+		"0000000000000001_0000000000000002-01",  // wrong separator
+		"000000000000000g-0000000000000002-01",  // non-hex trace
+		"0000000000000001-000000000000000z-01",  // non-hex span
+		"0000000000000001-0000000000000002-0g",  // non-hex flags
+		"0000000000000000-0000000000000002-01",  // zero trace id
+	}
+	for _, s := range bad {
+		if got, ok := ParseTraceContext(s); ok {
+			t.Errorf("ParseTraceContext(%q) = %+v, want reject", s, got)
+		}
+	}
+	// Uppercase hex is accepted (case-insensitive parse).
+	if got, ok := ParseTraceContext("00000000DEADBEEF-0000000000000002-01"); !ok || got.TraceID != 0xdeadbeef || !got.Sampled {
+		t.Fatalf("uppercase parse = %+v ok=%v", got, ok)
+	}
+}
+
+// TestTraceContextParseAllocationFree pins the header-parse fast path:
+// every request through serve and cluster parses the incoming trace
+// header, so the parse must not allocate even for valid contexts.
+func TestTraceContextParseAllocationFree(t *testing.T) {
+	wire := TraceContext{TraceID: 42, SpanID: 7, Sampled: true}.String()
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, ok := ParseTraceContext(wire); !ok {
+			t.Fatal("parse failed")
+		}
+	}); allocs != 0 {
+		t.Fatalf("ParseTraceContext allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestSamplerDeterministic pins the 1-in-N counting rule: the first
+// request of every N is sampled, so a differential test driving exactly
+// N requests knows which one carries a span tree.
+func TestSamplerDeterministic(t *testing.T) {
+	s := NewSampler(4)
+	want := []bool{true, false, false, false, true, false, false, false}
+	for i, w := range want {
+		if got := s.Sample(); got != w {
+			t.Fatalf("request %d: sampled=%v, want %v", i+1, got, w)
+		}
+	}
+	if NewSampler(0) != nil || NewSampler(-3) != nil {
+		t.Fatal("non-positive rate must return the never-sampling nil sampler")
+	}
+	var nilS *Sampler
+	if nilS.Sample() {
+		t.Fatal("nil sampler sampled")
+	}
+	one := NewSampler(1)
+	for i := 0; i < 5; i++ {
+		if !one.Sample() {
+			t.Fatalf("NewSampler(1) skipped request %d", i+1)
+		}
+	}
+}
+
+func TestSamplerAllocationFree(t *testing.T) {
+	s := NewSampler(10)
+	var nilS *Sampler
+	if allocs := testing.AllocsPerRun(200, func() {
+		s.Sample()
+		nilS.Sample()
+	}); allocs != 0 {
+		t.Fatalf("Sample allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestNewIDNonZeroAndDistinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewID()
+		if id == 0 {
+			t.Fatal("NewID minted zero")
+		}
+		if seen[id] {
+			t.Fatalf("NewID repeated %016x", id)
+		}
+		seen[id] = true
+	}
+	root := NewRootContext(true)
+	if !root.Valid() || !root.Sampled || root.SpanID != 0 {
+		t.Fatalf("NewRootContext = %+v", root)
+	}
+}

@@ -12,11 +12,19 @@
 //	u8   version (= 1)
 //	u8   kind    (1 = comm, 2 = comp)
 //	u8   flags   (comm: bit0 = direction, 0 to_back / 1 to_host;
-//	              comp: bit0 = explicit j present)
+//	              comp: bit0 = explicit j present;
+//	              both: bit7 = trace block present)
 //	u8   contender count
+//	flags bit7: trace block — u64 trace id, u64 parent span id,
+//	            u8 trace flags (bit0 = sampled)
 //	kind comm: u16 data-set count, then count × (u32 n, u32 words)
 //	kind comp: f64 dcomp, then u32 j if flags bit0
 //	contender count × (f64 comm_fraction, f64 io_fraction, u32 msg_words)
+//
+// The trace block carries the same obs.TraceContext the HTTP trace
+// header does, in-band so a binary client needs no extra header pass;
+// servers that predate the flag reject it as unknown (fail-closed), and
+// servers that know it accept requests without it unchanged.
 //
 // The payload length must match the content exactly; truncation,
 // trailing bytes, NaN/Inf fractions, and out-of-range counts are all
@@ -45,6 +53,7 @@ import (
 	"sync"
 
 	"contention/internal/core"
+	"contention/internal/obs"
 )
 
 // ContentTypeBinary selects the binary request/response format on
@@ -57,14 +66,16 @@ const (
 	binKindComm = 1
 	binKindComp = 2
 
-	binFlagDirToHost = 1 // comm: direction is back→host
-	binFlagHasJ      = 1 // comp: explicit j column follows dcomp
+	binFlagDirToHost = 1    // comm: direction is back→host
+	binFlagHasJ      = 1    // comp: explicit j column follows dcomp
+	binFlagTrace     = 0x80 // both kinds: trace block follows the header
 
 	binRespDegraded = 1
 	binRespFast     = 2
 
 	binContenderBytes = 20 // f64 + f64 + u32
 	binDataSetBytes   = 8  // u32 + u32
+	binTraceBytes     = 17 // u64 trace id + u64 span id + u8 flags
 )
 
 // binReq is the pooled per-request workspace: the raw payload buffer,
@@ -73,6 +84,7 @@ const (
 // references those slices — the batcher slow path clones them first.
 type binReq struct {
 	q    query
+	tc   obs.TraceContext // in-band trace block, zero when absent
 	cs   [MaxContenders]core.Contender
 	sets [MaxDataSets]core.DataSet
 	buf  []byte
@@ -124,6 +136,30 @@ func (br *binReq) decode() error {
 	}
 	q := &br.q
 	*q = query{}
+	br.tc = obs.TraceContext{}
+	// The trace block is kind-independent, so it is parsed (and its flag
+	// bit cleared) before the kind-specific flag checks.
+	if flags&binFlagTrace != 0 {
+		if len(b) < binTraceBytes {
+			return badRequest("binary trace block truncated (%d of %d bytes)", len(b), binTraceBytes)
+		}
+		// A zero trace id or unknown trace-flag bits can never come from
+		// our encoder; reject rather than guess (keeps decode→re-encode
+		// exact, the fuzz round-trip property).
+		if b[16]&^1 != 0 {
+			return badRequest("unknown trace flags %#x", b[16])
+		}
+		br.tc = obs.TraceContext{
+			TraceID: binary.LittleEndian.Uint64(b),
+			SpanID:  binary.LittleEndian.Uint64(b[8:]),
+			Sampled: b[16]&1 != 0,
+		}
+		if !br.tc.Valid() {
+			return badRequest("binary trace block with zero trace id")
+		}
+		b = b[binTraceBytes:]
+		flags &^= binFlagTrace
+	}
 	switch kind {
 	case binKindComm:
 		q.kind = "comm"
@@ -208,10 +244,15 @@ func (br *binReq) decode() error {
 	return nil
 }
 
-// appendBinaryQuery encodes a validated query in the request format.
-func appendBinaryQuery(dst []byte, q query) []byte {
+// appendBinaryQuery encodes a validated query in the request format,
+// with an in-band trace block when tc names a trace.
+func appendBinaryQuery(dst []byte, q query, tc obs.TraceContext) []byte {
 	payload := 4 + len(q.cs)*binContenderBytes
 	var flags byte
+	if tc.Valid() {
+		payload += binTraceBytes
+		flags |= binFlagTrace
+	}
 	if q.kind == "comm" {
 		payload += 2 + len(q.sets)*binDataSetBytes
 		if q.dir == core.BackToHost {
@@ -230,6 +271,15 @@ func appendBinaryQuery(dst []byte, q query) []byte {
 		kind = binKindComm
 	}
 	dst = append(dst, binVersion, kind, flags, byte(len(q.cs)))
+	if tc.Valid() {
+		dst = binary.LittleEndian.AppendUint64(dst, tc.TraceID)
+		dst = binary.LittleEndian.AppendUint64(dst, tc.SpanID)
+		var tf byte
+		if tc.Sampled {
+			tf = 1
+		}
+		dst = append(dst, tf)
+	}
 	if q.kind == "comm" {
 		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(q.sets)))
 		for _, s := range q.sets {
@@ -260,7 +310,19 @@ func AppendBinaryRequest(dst []byte, req *Request) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return appendBinaryQuery(dst, q), nil
+	return appendBinaryQuery(dst, q, obs.TraceContext{}), nil
+}
+
+// AppendBinaryRequestTraced is AppendBinaryRequest with an in-band
+// trace block, so binary clients propagate trace context without an
+// extra header pass. A zero tc encodes identically to
+// AppendBinaryRequest.
+func AppendBinaryRequestTraced(dst []byte, req *Request, tc obs.TraceContext) ([]byte, error) {
+	q, err := req.validate()
+	if err != nil {
+		return nil, err
+	}
+	return appendBinaryQuery(dst, q, tc), nil
 }
 
 // appendBinaryResponse encodes one response in the response format.

@@ -291,7 +291,7 @@ func FuzzDecodeBinaryRequest(f *testing.F) {
 		if q.kind == "comp" && (math.IsNaN(q.dcomp) || math.IsInf(q.dcomp, 0) || q.dcomp < 0) {
 			t.Fatalf("decoded dcomp %v escaped validation", q.dcomp)
 		}
-		reenc := appendBinaryQuery(nil, q)
+		reenc := appendBinaryQuery(nil, q, br.tc)
 		if !bytes.Equal(reenc, data) {
 			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", reenc, data)
 		}

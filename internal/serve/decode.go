@@ -85,9 +85,12 @@ type Response struct {
 	Fast bool `json:"fast,omitempty"`
 }
 
-// errorBody is the JSON error envelope.
+// errorBody is the JSON error envelope. RequestID echoes the caller's
+// X-Request-Id (or a server-minted one) so a failure in a chaos-gate
+// log can be correlated with its trace and with the router's records.
 type errorBody struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // query is a decoded, validated request in model-core types.

@@ -104,6 +104,13 @@ type Config struct {
 	// keys from the interpolated surface, which is bit-exact only at
 	// grid nodes, so it is opt-in alongside AttachSurface.
 	FastPath bool
+	// Sampler head-samples requests for full span trees (see trace.go).
+	// nil never starts a trace locally but still honors sampled contexts
+	// arriving from upstream.
+	Sampler *obs.Sampler
+	// SLO, when non-nil, receives every finished request (latency +
+	// success) and gates /readyz detail with burn-rate status.
+	SLO *obs.SLOTracker
 }
 
 // Server is the prediction service. Build with New; it is goroutine-safe.
@@ -134,6 +141,10 @@ type Server struct {
 type pendingReq struct {
 	q  query
 	ch chan outcome
+	// enq is when the request entered the batcher (batch-wait starts);
+	// rt is its tracing handle, nil unless sampled.
+	enq time.Time
+	rt  *reqTrace
 }
 
 type outcome struct {
@@ -237,7 +248,15 @@ func (s *Server) degradeReason() string {
 // concurrent peers. It blocks until the answer is computed, the context
 // ends (ErrDeadline), or admission rejects the request.
 func (s *Server) Predict(ctx context.Context, q query) (Response, error) {
+	return s.predict(ctx, q, nil)
+}
+
+// predict is Predict with a tracing handle (nil unless sampled). Stage
+// boundaries are timed on every request for the attribution histograms;
+// rt promotes the same intervals to spans when non-nil.
+func (s *Server) predict(ctx context.Context, q query, rt *reqTrace) (Response, error) {
 	mRequests.With(q.kind).Inc()
+	admStart := time.Now()
 	if err := s.adm.Acquire(ctx); err != nil {
 		if errors.Is(err, rm.ErrSubmitTimeout) {
 			return Response{}, fmt.Errorf("%w: %w", ErrDeadline, err)
@@ -245,14 +264,21 @@ func (s *Server) Predict(ctx context.Context, q query) (Response, error) {
 		return Response{}, err
 	}
 	defer s.adm.Release()
+	admDone := time.Now()
+	stAdmission.Observe(admDone.Sub(admStart).Seconds())
+	rt.stage("admission", admStart, admDone)
 
 	// Degraded fast path: a calibration that cannot be trusted answers
 	// with the conservative worst case immediately — no batching, no DP.
 	if reason := s.degradeReason(); reason != "" {
-		return s.predictDegraded(q, reason)
+		resp, err := s.predictDegraded(q, reason)
+		done := time.Now()
+		stCompute.Observe(done.Sub(admDone).Seconds())
+		rt.stage("compute", admDone, done)
+		return resp, err
 	}
 
-	req := &pendingReq{q: q, ch: make(chan outcome, 1)}
+	req := &pendingReq{q: q, ch: make(chan outcome, 1), enq: admDone, rt: rt}
 	if flushNow := s.enqueue(req); flushNow != nil {
 		s.runGroups(flushNow)
 		s.flushing.Done()
@@ -272,7 +298,7 @@ func (s *Server) Predict(ctx context.Context, q query) (Response, error) {
 // degradation, and error reporting. The whole path is allocation-free,
 // so it is safe against pooled (binary) query slices — nothing retains
 // them past the return.
-func (s *Server) tryFast(q *query) (Response, bool) {
+func (s *Server) tryFast(q *query, rt *reqTrace) (Response, bool) {
 	if !s.cfg.FastPath || s.draining.Load() {
 		return Response{}, false
 	}
@@ -281,6 +307,7 @@ func (s *Server) tryFast(q *query) (Response, bool) {
 		return Response{}, false
 	}
 	defer s.adm.Release()
+	start := time.Now()
 	var v float64
 	var ok bool
 	switch {
@@ -295,6 +322,9 @@ func (s *Server) tryFast(q *query) (Response, bool) {
 		mFastMisses.Inc()
 		return Response{}, false
 	}
+	done := time.Now()
+	stSurface.Observe(done.Sub(start).Seconds())
+	rt.stage("surface", start, done)
 	mFastHits.Inc()
 	mRequests.With(q.kind).Inc()
 	return Response{Value: v, Fast: true}, true
@@ -433,6 +463,16 @@ func (s *Server) evalGroup(g *group) {
 	mBatches.Inc()
 	mBatchSize.Observe(float64(n))
 
+	// Batch rendezvous ends here: everything between enqueue and this
+	// point was time spent waiting for peers (or the window timer).
+	evalStart := time.Now()
+	for _, r := range g.reqs {
+		if !r.enq.IsZero() {
+			stBatchWait.Observe(evalStart.Sub(r.enq).Seconds())
+			r.rt.stage("batch-wait", r.enq, evalStart)
+		}
+	}
+
 	first := g.reqs[0].q
 	// All requests in a group share kind, direction, j selection, and
 	// contender multiset — that is what the batch key canonicalizes.
@@ -456,13 +496,23 @@ func (s *Server) evalGroup(g *group) {
 			vals, err = s.cfg.Pred.PredictCompBatch(dcomps, first.cs)
 		}
 	}
+	// One DP answered the whole group; each request waited exactly that
+	// long, so the compute stage is attributed to every member. Stages
+	// are recorded before the outcome is sent — once the handler unblocks
+	// it may end the root span.
+	evalDone := time.Now()
+	evalSecs := evalDone.Sub(evalStart).Seconds()
 	if err != nil {
 		for _, r := range g.reqs {
+			stCompute.Observe(evalSecs)
+			r.rt.stage("compute", evalStart, evalDone)
 			r.ch <- outcome{err: err}
 		}
 		return
 	}
 	for i, r := range g.reqs {
+		stCompute.Observe(evalSecs)
+		r.rt.stage("compute", evalStart, evalDone)
 		r.ch <- outcome{resp: Response{Value: vals[i], Batch: n}}
 	}
 }
@@ -558,19 +608,41 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	resp, err := s.servePredict(r)
+	rt := s.requestTrace(r, obs.TraceContext{})
+	resp, err := s.servePredict(r, rt)
 	mResponses.With(outcomeLabel(err)).Inc()
 	mRequestSeconds.Observe(time.Since(start).Seconds())
+	s.recordSLO(start, err)
+	encStart := time.Now()
 	if err != nil {
-		status := statusFor(err)
-		if errors.Is(err, ErrClosed) {
-			status = http.StatusServiceUnavailable
+		s.writeErrorEnvelope(w, r, err)
+	} else {
+		if rid := r.Header.Get(RequestIDHeader); rid != "" {
+			w.Header().Set(RequestIDHeader, rid)
 		}
-		setBackoffHint(w, status)
-		writeJSON(w, status, errorBody{Error: err.Error()})
-		return
+		writeJSON(w, http.StatusOK, resp)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	encDone := time.Now()
+	stEncode.Observe(encDone.Sub(encStart).Seconds())
+	rt.stage("encode", encStart, encDone)
+	rt.end()
+}
+
+// writeErrorEnvelope answers a pipeline error as the JSON envelope,
+// correlated by request id: the client's X-Request-Id when sent, a
+// minted one otherwise, echoed in both the header and the body.
+func (s *Server) writeErrorEnvelope(w http.ResponseWriter, r *http.Request, err error) {
+	status := statusFor(err)
+	if errors.Is(err, ErrClosed) {
+		status = http.StatusServiceUnavailable
+	}
+	rid := r.Header.Get(RequestIDHeader)
+	if rid == "" {
+		rid = newRequestID()
+	}
+	w.Header().Set(RequestIDHeader, rid)
+	setBackoffHint(w, status)
+	writeJSON(w, status, errorBody{Error: err.Error(), RequestID: rid})
 }
 
 // DeadlineHeader carries the caller's remaining request budget in
@@ -596,7 +668,8 @@ func (s *Server) requestTimeout(r *http.Request) time.Duration {
 }
 
 // servePredict decodes, validates, and answers one HTTP query.
-func (s *Server) servePredict(r *http.Request) (Response, error) {
+func (s *Server) servePredict(r *http.Request, rt *reqTrace) (Response, error) {
+	decStart := time.Now()
 	req, err := DecodeRequest(r.Body)
 	if err != nil {
 		return Response{}, err
@@ -605,14 +678,17 @@ func (s *Server) servePredict(r *http.Request) (Response, error) {
 	if err != nil {
 		return Response{}, err
 	}
+	decDone := time.Now()
+	stDecode.Observe(decDone.Sub(decStart).Seconds())
+	rt.stage("decode", decStart, decDone)
 	// Fast path before the deadline context: a resident answer needs no
 	// timer allocation and cannot block.
-	if resp, ok := s.tryFast(&q); ok {
+	if resp, ok := s.tryFast(&q, rt); ok {
 		return resp, nil
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(r))
 	defer cancel()
-	return s.Predict(ctx, q)
+	return s.predict(ctx, q, rt)
 }
 
 // handlePredictBinary is handlePredict for the binary wire format: the
@@ -624,35 +700,50 @@ func (s *Server) handlePredictBinary(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	mBinaryRequests.Inc()
 	br := binReqPool.Get().(*binReq)
-	resp, err := s.servePredictBinary(br, r)
+	resp, rt, err := s.servePredictBinary(br, r)
 	mResponses.With(outcomeLabel(err)).Inc()
 	mRequestSeconds.Observe(time.Since(start).Seconds())
+	s.recordSLO(start, err)
 	if err != nil {
 		binReqPool.Put(br)
-		status := statusFor(err)
-		if errors.Is(err, ErrClosed) {
-			status = http.StatusServiceUnavailable
-		}
-		setBackoffHint(w, status)
-		writeJSON(w, status, errorBody{Error: err.Error()})
+		encStart := time.Now()
+		s.writeErrorEnvelope(w, r, err)
+		encDone := time.Now()
+		stEncode.Observe(encDone.Sub(encStart).Seconds())
+		rt.stage("encode", encStart, encDone)
+		rt.end()
 		return
 	}
+	encStart := time.Now()
 	br.out = appendBinaryResponse(br.out[:0], resp)
 	w.Header().Set("Content-Type", ContentTypeBinary)
 	_, _ = w.Write(br.out)
+	encDone := time.Now()
+	stEncode.Observe(encDone.Sub(encStart).Seconds())
+	rt.stage("encode", encStart, encDone)
+	rt.end()
 	binReqPool.Put(br)
 }
 
 // servePredictBinary decodes one binary query into br and answers it.
-func (s *Server) servePredictBinary(br *binReq, r *http.Request) (Response, error) {
+// The returned *reqTrace is nil unless the request is sampled (in-band
+// trace block, trace header, or local head sampler — in that order).
+func (s *Server) servePredictBinary(br *binReq, r *http.Request) (Response, *reqTrace, error) {
+	decStart := time.Now()
 	if err := br.readBody(r.Body); err != nil {
-		return Response{}, err
+		return Response{}, nil, err
 	}
 	if err := br.decode(); err != nil {
-		return Response{}, err
+		return Response{}, nil, err
 	}
-	if resp, ok := s.tryFast(&br.q); ok {
-		return resp, nil
+	decDone := time.Now()
+	// The in-band trace context is only known after decode, so the
+	// decode stage span is recorded retroactively.
+	rt := s.requestTrace(r, br.tc)
+	stDecode.Observe(decDone.Sub(decStart).Seconds())
+	rt.stage("decode", decStart, decDone)
+	if resp, ok := s.tryFast(&br.q, rt); ok {
+		return resp, rt, nil
 	}
 	// Slow path: the query's slices alias br's pooled backing arrays,
 	// but the batcher retains the query past this function's return (a
@@ -664,7 +755,8 @@ func (s *Server) servePredictBinary(br *binReq, r *http.Request) (Response, erro
 	q.sets = append([]core.DataSet(nil), q.sets...)
 	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(r))
 	defer cancel()
-	return s.Predict(ctx, q)
+	resp, err := s.predict(ctx, q, rt)
+	return resp, rt, err
 }
 
 // observeRequest is the wire form of one residual observation.
@@ -736,10 +828,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, h)
 }
 
-// readyResponse is the /readyz body.
+// readyResponse is the /readyz body. SLO carries the objective
+// tracker's burn-rate detail when one is configured — an SLO breach is
+// reported (operators and fleet pages see it) but does not flip
+// readiness: pulling a slow replica sheds capacity and usually makes
+// the burn worse.
 type readyResponse struct {
-	Ready  bool   `json:"ready"`
-	Reason string `json:"reason,omitempty"`
+	Ready  bool           `json:"ready"`
+	Reason string         `json:"reason,omitempty"`
+	SLO    *obs.SLOStatus `json:"slo,omitempty"`
 }
 
 // handleReady implements GET /readyz: readiness for new traffic, as
@@ -759,12 +856,17 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 			reason = "calibration degraded: " + t.Reason()
 		}
 	}
+	var slo *obs.SLOStatus
+	if s.cfg.SLO != nil {
+		st := s.cfg.SLO.Status()
+		slo = &st
+	}
 	if reason != "" {
 		setBackoffHint(w, http.StatusServiceUnavailable)
-		writeJSON(w, http.StatusServiceUnavailable, readyResponse{Ready: false, Reason: reason})
+		writeJSON(w, http.StatusServiceUnavailable, readyResponse{Ready: false, Reason: reason, SLO: slo})
 		return
 	}
-	writeJSON(w, http.StatusOK, readyResponse{Ready: true})
+	writeJSON(w, http.StatusOK, readyResponse{Ready: true, SLO: slo})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
