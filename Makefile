@@ -3,7 +3,7 @@ GO ?= go
 # Label stamped into the benchmark snapshot written by `make bench`.
 LABEL ?= dev
 
-.PHONY: all build vet test race check bench benchcmp bench-regress bench-smoke fmt fuzz calibration-roundtrip obs-gate serve-gate serve-bench cluster-gate cluster-bench netchaos-gate remote-bench hotpath-gate hotpath-bench trace-gate
+.PHONY: all build vet test race check bench benchcmp bench-regress bench-smoke fmt fuzz calibration-roundtrip obs-gate serve-gate serve-bench cluster-gate cluster-bench netchaos-gate remote-bench hotpath-gate hotpath-bench trace-gate scenario-gate scenario-bench
 
 all: check
 
@@ -29,6 +29,8 @@ fuzz:
 	$(GO) test -run ^$$ -fuzz '^FuzzPoissonBinomial$$' -fuzztime 5s ./internal/prob
 	$(GO) test -run ^$$ -fuzz '^FuzzDecodeRequest$$' -fuzztime 5s ./internal/serve
 	$(GO) test -run ^$$ -fuzz '^FuzzDecodeBinaryRequest$$' -fuzztime 5s ./internal/serve
+	$(GO) test -run ^$$ -fuzz '^FuzzReadTraceHeader$$' -fuzztime 5s ./internal/scenario
+	$(GO) test -run ^$$ -fuzz '^FuzzDecodeTraceRecord$$' -fuzztime 5s ./internal/scenario
 
 # Persistence gate: write a calibration envelope, verify it, then prove
 # damaged copies are rejected — a truncated file and a payload with one
@@ -154,8 +156,39 @@ trace-gate:
 	$(GO) run ./cmd/loadgen -cluster 2 -trace-sample 10 -stages -duration 1s -conc 4 -warmup 100ms > /dev/null
 	@echo "trace-gate: OK"
 
+# Scenario gate: generator properties (rates integrate to their
+# configured means, burst duty cycles match the stationary distribution,
+# schedules are bit-deterministic per seed), the trace round-trip and
+# corruption taxonomy, the race-checked record→replay differentials
+# (10k requests bit-identical through a live server, plus the cluster
+# variant), the trace fuzz seed corpus, the legacy-pacing regression
+# pins, the DES replay driver and a sweep smoke cell, the binary-wire
+# router pin, and a loadgen record→replay round trip through a real
+# self-served instance.
+scenario-gate:
+	$(GO) test -run 'TestConstantRate|TestSinusoidIntegratesToMean|TestMarkovBurstDutyCycle|TestFlashCrowdMonotoneRamp|TestScheduleBitDeterministic|TestScheduleShape|TestSpecRoundTrip' ./internal/scenario
+	$(GO) test -run 'TestTrace' ./internal/scenario
+	$(GO) test -race -run 'TestReplay' ./internal/scenario
+	$(GO) test -run 'TestFuzzSeedsPass' ./internal/scenario
+	$(GO) test -run 'TestUniformPacerMatchesLegacyTicker|TestOpenLoopDrawOrderUnchanged|TestOverloadMessageUnchanged|TestPaceLoopOrderAndDeadline' ./cmd/loadgen
+	$(GO) test -run 'TestScenarioReplayDeterministic|TestScenarioSweepSmokeCell' ./internal/experiments
+	$(GO) test -run 'TestRouterBinaryWire' ./internal/cluster
+	tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run ./cmd/loadgen -scenario bursty -duration 1s -binary -record "$$tmp/run.ctrc" -warmup 100ms > /dev/null && \
+	$(GO) run ./cmd/loadgen -replay "$$tmp/run.ctrc" -warmup 100ms > /dev/null
+	@echo "scenario-gate: OK"
+
+# Record the scenario benchmark snapshot: the hotpath-bench reference
+# shape first (so bench-regress can gate against BENCH_pr8_hotpath),
+# then one scenario-paced run per wire tier.
+scenario-bench:
+	$(GO) run ./cmd/loadgen -binary -surface -duration 3s -conc 8 -label $(LABEL) -o BENCH_$(LABEL)_scenario.json
+	$(GO) run ./cmd/loadgen -scenario mixed -duration 3s -label $(LABEL) -o BENCH_$(LABEL)_scenario.json -append
+	$(GO) run ./cmd/loadgen -scenario mixed -duration 3s -binary -label $(LABEL) -o BENCH_$(LABEL)_scenario.json -append
+	$(GO) run ./cmd/loadgen -scenario mixed -duration 3s -binary -surface -label $(LABEL) -o BENCH_$(LABEL)_scenario.json -append
+
 # The full local gate: everything CI would run.
-check: build vet race fuzz calibration-roundtrip obs-gate serve-gate cluster-gate netchaos-gate hotpath-gate trace-gate bench-smoke
+check: build vet race fuzz calibration-roundtrip obs-gate serve-gate cluster-gate netchaos-gate hotpath-gate trace-gate scenario-gate bench-smoke
 
 # Record a benchmark snapshot: full suite with allocation stats, parsed
 # into BENCH_$(LABEL).json for later `make benchcmp` diffs.

@@ -30,6 +30,8 @@ func main() {
 	only := flag.String("only", "", "run a single experiment by id (e.g. figure5)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	extensions := flag.Bool("extensions", false, "also run the extension experiments (synthetic suite, I/O, phased, multi-machine)")
+	scenarios := flag.Bool("scenarios", false, "also run the scenario sweep matrix (every builtin scenario × wire format × serving mode, with replay verification per cell)")
+	scenarioN := flag.Int("scenario-n", 60, "requests per scenario sweep cell")
 	asJSON := flag.Bool("json", false, "emit results as a JSON array instead of text tables")
 	parallel := flag.Bool("parallel", true, "fan experiment drivers and sweeps out on a worker pool (output is byte-identical to serial)")
 	workers := flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
@@ -88,7 +90,7 @@ func main() {
 	ids := []string{"table1-2", "table3", "table4", "figure1", "figure2",
 		"figure3", "figure4", "figure5", "figure6", "figure7", "figure8",
 		"synthetic", "iochar", "phased", "multimachine", "offload", "faulttolerance",
-		"caldrift"}
+		"caldrift", "scenarioreplay", "scenariosweep"}
 	if *list {
 		for _, id := range ids {
 			fmt.Println(id)
@@ -111,7 +113,7 @@ func main() {
 		os.Exit(1)
 	}
 	wantExt := *extensions
-	if *only == "synthetic" || *only == "iochar" || *only == "phased" || *only == "multimachine" || *only == "offload" || *only == "faulttolerance" || *only == "caldrift" {
+	if *only == "synthetic" || *only == "iochar" || *only == "phased" || *only == "multimachine" || *only == "offload" || *only == "faulttolerance" || *only == "caldrift" || *only == "scenarioreplay" {
 		wantExt = true
 	}
 	if wantExt {
@@ -121,6 +123,17 @@ func main() {
 			os.Exit(1)
 		}
 		results = append(results, ext...)
+	}
+	var scenarioReport *obs.ScenarioReport
+	if *scenarios || *only == "scenariosweep" {
+		fmt.Fprintln(os.Stderr, "running the scenario sweep matrix...")
+		r, rep, err := experiments.ScenarioSweep(env, *scenarioN)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scenario sweep failed:", err)
+			os.Exit(1)
+		}
+		results = append(results, r)
+		scenarioReport = rep
 	}
 	found := false
 	var selected []experiments.Result
@@ -139,9 +152,11 @@ func main() {
 		m := experiments.BuildManifest(env, "experiments", map[string]string{
 			"only":       *only,
 			"extensions": strconv.FormatBool(wantExt),
+			"scenarios":  strconv.FormatBool(scenarioReport != nil),
 			"parallel":   strconv.FormatBool(*parallel),
 			"workers":    strconv.Itoa(env.Pool.Workers()),
 		})
+		m.Scenario = scenarioReport
 		m.StartedAt = start.UTC().Format(time.RFC3339)
 		m.WallSeconds = time.Since(start).Seconds()
 		if err := m.Write(*runReport); err != nil {

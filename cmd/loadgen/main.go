@@ -63,6 +63,7 @@ import (
 	"contention/internal/core"
 	"contention/internal/obs"
 	"contention/internal/runner"
+	"contention/internal/scenario"
 	"contention/internal/serve"
 	"contention/internal/surface"
 )
@@ -104,6 +105,9 @@ func main() {
 	traceSample := flag.Int("trace-sample", 0, "head-sample 1 in N requests into a propagated trace: the context rides the trace header (JSON) or the in-band binary trace block (0 disables)")
 	stagesOut := flag.Bool("stages", false, "record per-stage latency attribution on the self-served target and emit stage-*-p50/p99-ms metrics in the snapshot")
 	appendOut := flag.Bool("append", false, "append this run's benchmarks to the existing snapshot in -o instead of overwriting it")
+	scenarioSpec := flag.String("scenario", "", "drive a scenario schedule instead of uniform traffic: a built-in name (steady, diurnal, bursty, flashcrowd, mixed) or a spec string; paced open-loop by the schedule's offsets over -duration from -seed (overrides -mode/-rate)")
+	recordPath := flag.String("record", "", "record the -scenario run — requests and the responses they received — as a contention/trace/v1 file")
+	replayPath := flag.String("replay", "", "replay a recorded trace file, paced by its recorded offsets, and verify each response against the recorded one (exit 1 on mismatch)")
 	flag.Parse()
 
 	if *mode != "closed" && *mode != "open" {
@@ -112,6 +116,18 @@ func main() {
 	}
 	if *conc < 1 || *rate <= 0 || *duration <= 0 {
 		fmt.Fprintln(os.Stderr, "-conc, -rate and -duration must be positive")
+		os.Exit(2)
+	}
+	if *scenarioSpec != "" && *replayPath != "" {
+		fmt.Fprintln(os.Stderr, "-scenario and -replay are mutually exclusive")
+		os.Exit(2)
+	}
+	if *recordPath != "" && *scenarioSpec == "" {
+		fmt.Fprintln(os.Stderr, "-record needs -scenario (the run to record)")
+		os.Exit(2)
+	}
+	if *traceSample > 0 && (*scenarioSpec != "" || *replayPath != "") {
+		fmt.Fprintln(os.Stderr, "-trace-sample does not combine with -scenario/-replay (traces of traces)")
 		os.Exit(2)
 	}
 
@@ -173,8 +189,78 @@ func main() {
 	if *binaryMode {
 		contentType = serve.ContentTypeBinary
 	}
-	bodies, traced := corpus(rand.New(rand.NewSource(*seed)), 512, *binaryMode)
 	sampler := obs.NewSampler(*traceSample)
+
+	// Scenario and replay runs are schedule-paced: build the play list up
+	// front so the measured loop only paces and posts.
+	var (
+		sc         *scenario.Scenario
+		plays      []playItem
+		replayRecs []scenario.Record
+		scenName   string
+	)
+	switch {
+	case *replayPath != "":
+		f, err := os.Open(*replayPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		hdr, recs, err := scenario.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: reading trace %s: %v\n", *replayPath, err)
+			os.Exit(1)
+		}
+		if len(recs) == 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: trace %s holds no records\n", *replayPath)
+			os.Exit(1)
+		}
+		// The trace's wire format wins over -binary: the recorded bytes
+		// are what gets replayed.
+		*binaryMode = hdr.Format == scenario.FormatBinary
+		contentType = "application/json"
+		if *binaryMode {
+			contentType = serve.ContentTypeBinary
+		}
+		replayRecs = recs
+		plays = make([]playItem, len(recs))
+		for i, r := range recs {
+			plays[i] = playItem{offset: r.Offset, cohort: r.Cohort, body: r.Req}
+		}
+		scenName = "replay"
+		fmt.Fprintf(os.Stderr, "replaying %d records (scenario %q, seed %d, %s wire, served=%v)\n",
+			len(recs), hdr.Scenario, hdr.Seed, hdr.Format, hdr.Served)
+	case *scenarioSpec != "":
+		var err error
+		if sc, err = scenario.Parse(*scenarioSpec); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(2)
+		}
+		items, err := sc.Schedule(*seed, *duration)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		format := scenario.FormatJSON
+		if *binaryMode {
+			format = scenario.FormatBinary
+		}
+		plays = make([]playItem, len(items))
+		for i, it := range items {
+			b, err := scenario.EncodeItem(it, format)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: encoding schedule item %d: %v\n", i, err)
+				os.Exit(1)
+			}
+			plays[i] = playItem{offset: it.Offset, cohort: it.Cohort, body: b}
+		}
+		scenName = "scenario-" + benchSafe(sc.Name)
+		fmt.Fprintf(os.Stderr, "scenario %s: %d scheduled requests over %v (seed %d, %s wire)\n",
+			sc.Name, len(plays), *duration, *seed, format)
+	}
+
+	bodies, traced := corpus(rand.New(rand.NewSource(*seed)), 512, *binaryMode)
 	if *warmup > 0 {
 		run(client, url, contentType, bodies, nil, nil, "closed", *conc, *rate, *warmup)
 	}
@@ -188,8 +274,32 @@ func main() {
 	// the whole server side when self-serving.
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
-	res := run(client, url, contentType, bodies, traced, sampler, *mode, *conc, *rate, *duration)
+	var (
+		res      *result
+		statuses []int
+		outs     []serve.Response
+	)
+	if plays != nil {
+		res, statuses, outs = runSchedule(client, url, contentType, plays, *conc)
+	} else {
+		res = run(client, url, contentType, bodies, traced, sampler, *mode, *conc, *rate, *duration)
+	}
 	runtime.ReadMemStats(&ms1)
+
+	if *recordPath != "" {
+		if err := writeServedTrace(*recordPath, sc, *seed, *duration, *binaryMode, plays, statuses, outs); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: recording trace:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "recorded %d served requests to %s\n", len(plays), *recordPath)
+	}
+	if replayRecs != nil {
+		if m := verifyReplay(replayRecs, statuses, outs); m > 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: replay verification FAILED: %d of %d responses diverged\n", m, len(replayRecs))
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "replay verified: %d responses reproduced\n", len(replayRecs))
+	}
 
 	if res.errors > 0 {
 		fmt.Fprintf(os.Stderr, "loadgen: %d/%d requests failed; first: %s\n", res.errors, res.total(), res.firstErr)
@@ -202,6 +312,9 @@ func main() {
 	name := fmt.Sprintf("Loadgen/%s-conc%d", *mode, *conc)
 	if *mode == "open" {
 		name = fmt.Sprintf("Loadgen/open-rate%g", *rate)
+	}
+	if scenName != "" {
+		name = "Loadgen/" + scenName
 	}
 	if *addr == "" {
 		switch {
@@ -278,6 +391,68 @@ func main() {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
+}
+
+// benchSafe reduces a scenario name to a benchmark-name-safe token:
+// alphanumerics, dashes and underscores, capped at 24 runes. Anything
+// else (a raw spec string used without a name) falls back to "custom".
+func benchSafe(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		default:
+			continue
+		}
+		if b.Len() >= 24 {
+			break
+		}
+	}
+	if b.Len() == 0 {
+		return "custom"
+	}
+	return b.String()
+}
+
+// writeServedTrace records a scenario run — every request body plus the
+// status and response it received — as a contention/trace/v1 file, so
+// the run can be replayed and verified later.
+func writeServedTrace(path string, sc *scenario.Scenario, seed int64, horizon time.Duration, binary bool, plays []playItem, statuses []int, outs []serve.Response) error {
+	format := scenario.FormatJSON
+	if binary {
+		format = scenario.FormatBinary
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	tw, err := scenario.NewTraceWriter(f, scenario.TraceHeader{
+		Seed:      seed,
+		Scenario:  sc.Spec(),
+		HorizonMS: horizon.Milliseconds(),
+		Format:    format,
+		Served:    true,
+	})
+	if err != nil {
+		f.Close()
+		return err
+	}
+	for i, p := range plays {
+		rec := scenario.Record{
+			Offset: p.offset, Cohort: p.cohort, Req: p.body,
+			HasResp: true, Status: statuses[i], Resp: outs[i],
+		}
+		if err := tw.Write(&rec); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // selfServe starts an in-process prediction server on a loopback port,
@@ -623,23 +798,11 @@ func run(client *http.Client, url, contentType string, bodies, traced [][]byte, 
 			}(w)
 		}
 	case "open":
-		// Fixed arrival schedule; a semaphore caps in-flight requests so
-		// an overloaded server surfaces as drops (counted as errors), not
-		// as an unbounded goroutine pile.
-		interval := time.Duration(float64(time.Second) / rate)
-		if interval <= 0 {
-			interval = time.Nanosecond
-		}
+		// Fixed arrival schedule via the shared pacer; a semaphore caps
+		// in-flight requests so an overloaded server surfaces as drops
+		// (counted as errors), not as an unbounded goroutine pile.
 		sem := make(chan struct{}, 4*conc)
-		lrng := rand.New(rand.NewSource(77))
-		tick := time.NewTicker(interval)
-		defer tick.Stop()
-	arrivals:
-		for now := range tick.C {
-			if now.After(deadline) {
-				break arrivals
-			}
-			idx := lrng.Intn(len(bodies))
+		openLoop(newUniformPacer(rate), d, len(bodies), func(idx int) {
 			select {
 			case sem <- struct{}{}:
 				wg.Add(1)
@@ -649,9 +812,9 @@ func run(client *http.Client, url, contentType string, bodies, traced [][]byte, 
 					one(idx)
 				}()
 			default:
-				record(0, serve.Response{}, fmt.Errorf("open-loop overload: %d requests in flight", cap(sem)))
+				record(0, serve.Response{}, fmt.Errorf(overloadFmt, cap(sem)))
 			}
-		}
+		})
 	}
 	wg.Wait()
 	res.elapsed = time.Since(start)

@@ -1,0 +1,247 @@
+// Open-loop pacing. Legacy -rate traffic and scenario/trace schedules
+// share one pacer abstraction: a pacer yields successive arrival
+// offsets from run start, and paceLoop sleeps to each offset and fires
+// the arrival callback synchronously, in order — so the per-arrival
+// corpus draws stay on one deterministic rng stream regardless of which
+// pacer is driving.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"contention/internal/scenario"
+	"contention/internal/serve"
+)
+
+// pacer yields the next arrival's offset from run start. ok is false
+// when the schedule is exhausted (a uniform pacer never exhausts).
+type pacer interface {
+	next() (offset time.Duration, ok bool)
+}
+
+// uniformPacer reproduces the legacy fixed-rate ticker schedule:
+// arrival k (1-based) fires at k·interval, with the interval clamped to
+// 1ns exactly as the ticker construction always clamped it.
+type uniformPacer struct {
+	interval time.Duration
+	k        int64
+}
+
+func newUniformPacer(rate float64) *uniformPacer {
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	return &uniformPacer{interval: interval}
+}
+
+func (p *uniformPacer) next() (time.Duration, bool) {
+	p.k++
+	return time.Duration(p.k) * p.interval, true
+}
+
+// schedulePacer replays a fixed offset schedule (a scenario realization
+// or a recorded trace).
+type schedulePacer struct {
+	offsets []time.Duration
+	i       int
+}
+
+func (p *schedulePacer) next() (time.Duration, bool) {
+	if p.i >= len(p.offsets) {
+		return 0, false
+	}
+	off := p.offsets[p.i]
+	p.i++
+	return off, true
+}
+
+// paceLoop fires arrive(seq) at each pacer offset, synchronously and in
+// order, until the schedule is exhausted or the next arrival would land
+// past deadline d. A loop that falls behind wall clock issues late
+// instead of dropping — open-loop arrivals never slow down, they pile
+// up.
+func paceLoop(p pacer, d time.Duration, arrive func(seq int)) {
+	start := time.Now()
+	for seq := 0; ; seq++ {
+		off, ok := p.next()
+		if !ok || off > d {
+			return
+		}
+		if wait := time.Until(start.Add(off)); wait > 0 {
+			time.Sleep(wait)
+		}
+		arrive(seq)
+	}
+}
+
+// openSeed is the legacy open-loop corpus rng seed; the draw stream it
+// starts is pinned byte-identical by TestOpenLoopDrawOrderUnchanged.
+const openSeed = 77
+
+// overloadFmt is the open-loop drop diagnostic, pinned by test so
+// dashboards grepping for it keep matching.
+const overloadFmt = "open-loop overload: %d requests in flight"
+
+// openLoop is the legacy -rate open loop: one corpus index drawn per
+// arrival from the openSeed stream, handed to issue in arrival order.
+// Returns the arrival count.
+func openLoop(p pacer, d time.Duration, nBodies int, issue func(idx int)) int {
+	lrng := rand.New(rand.NewSource(openSeed))
+	n := 0
+	paceLoop(p, d, func(int) {
+		issue(lrng.Intn(nBodies))
+		n++
+	})
+	return n
+}
+
+// postOnce issues one request body and decodes the outcome. Non-200
+// responses report only the status (the body is the JSON error
+// envelope regardless of request format); transport failures return
+// status 0.
+func postOnce(client *http.Client, url, contentType, traceHdr string, body []byte) (int, serve.Response, time.Duration, error) {
+	t0 := time.Now()
+	var resp *http.Response
+	var err error
+	if traceHdr != "" {
+		req, rerr := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+		if rerr != nil {
+			return 0, serve.Response{}, 0, rerr
+		}
+		req.Header.Set("Content-Type", contentType)
+		req.Header.Set(serve.TraceHeader, traceHdr)
+		resp, err = client.Do(req)
+	} else {
+		resp, err = client.Post(url, contentType, bytes.NewReader(body))
+	}
+	lat := time.Since(t0)
+	if err != nil {
+		return 0, serve.Response{}, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, serve.Response{}, lat, nil
+	}
+	var out serve.Response
+	if contentType == serve.ContentTypeBinary {
+		raw, rerr := io.ReadAll(resp.Body)
+		if rerr != nil {
+			return resp.StatusCode, serve.Response{}, lat, rerr
+		}
+		if out, rerr = serve.DecodeBinaryResponse(raw); rerr != nil {
+			return resp.StatusCode, serve.Response{}, lat, rerr
+		}
+	} else if derr := json.NewDecoder(resp.Body).Decode(&out); derr != nil {
+		return resp.StatusCode, serve.Response{}, lat, derr
+	}
+	return resp.StatusCode, out, lat, nil
+}
+
+// playItem is one scheduled request of a scenario or replayed trace.
+type playItem struct {
+	offset time.Duration
+	cohort string
+	body   []byte
+}
+
+// runSchedule drives plays open-loop at their offsets. Unlike the
+// legacy open loop, nothing is dropped: the in-flight cap (4·conc)
+// back-pressures the pacer instead, because a record or replay run must
+// deliver every request. Per-play statuses and responses come back in
+// schedule order.
+func runSchedule(client *http.Client, url, contentType string, plays []playItem, conc int) (*result, []int, []serve.Response) {
+	res := &result{}
+	statuses := make([]int, len(plays))
+	outs := make([]serve.Response, len(plays))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 4*conc)
+	offsets := make([]time.Duration, len(plays))
+	for i, p := range plays {
+		offsets[i] = p.offset
+	}
+	start := time.Now()
+	// No deadline: the schedule's own horizon bounds the run.
+	paceLoop(&schedulePacer{offsets: offsets}, 1<<62, func(seq int) {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			status, out, lat, err := postOnce(client, url, contentType, "", plays[seq].body)
+			statuses[seq], outs[seq] = status, out
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				res.errors++
+				if res.firstErr == "" {
+					res.firstErr = err.Error()
+				}
+				return
+			}
+			res.latencies = append(res.latencies, float64(lat)/float64(time.Millisecond))
+			if out.Batch > 1 {
+				res.batched.Add(1)
+			}
+			if out.Fast {
+				res.fast.Add(1)
+			}
+		}()
+	})
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	return res, statuses, outs
+}
+
+// verifyReplay holds a replayed run against its recorded trace: every
+// status must match exactly, and every 200 value must match bit-for-bit
+// — except where the fast-path verdict flipped between record and
+// replay (admission timing), where the surface-vs-DP answers may differ
+// by the surface's interpolation tolerance. Returns the mismatch count.
+func verifyReplay(recs []scenario.Record, statuses []int, outs []serve.Response) int {
+	mismatches := 0
+	complain := func(i int, format string, args ...any) {
+		mismatches++
+		scenario.CountReplayMismatch()
+		if mismatches <= 10 {
+			fmt.Fprintf(os.Stderr, "replay mismatch at record %d (%s): %s\n",
+				i, recs[i].Cohort, fmt.Sprintf(format, args...))
+		}
+	}
+	for i, r := range recs {
+		if !r.HasResp {
+			continue
+		}
+		if statuses[i] != r.Status {
+			complain(i, "status %d, recorded %d", statuses[i], r.Status)
+			continue
+		}
+		if r.Status != http.StatusOK {
+			continue
+		}
+		got, want := outs[i], r.Resp
+		if got.Fast == want.Fast {
+			if math.Float64bits(got.Value) != math.Float64bits(want.Value) || got.Degraded != want.Degraded {
+				complain(i, "value %x (degraded=%v), recorded %x (degraded=%v)",
+					math.Float64bits(got.Value), got.Degraded, math.Float64bits(want.Value), want.Degraded)
+			}
+			continue
+		}
+		// Fast verdict flipped: surface interpolation vs exact DP.
+		if rel := math.Abs(got.Value-want.Value) / math.Max(math.Abs(want.Value), 1e-12); rel > 1e-3 {
+			complain(i, "fast-flip value %v vs recorded %v (rel %.2g > 1e-3)", got.Value, want.Value, rel)
+		}
+	}
+	return mismatches
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestUniformPacerMatchesLegacyTicker pins the shared pacer to the
+// pre-refactor open-loop schedule: the legacy code built a ticker with
+// interval time.Duration(float64(time.Second)/rate) clamped to 1ns, so
+// arrival k (1-based) fires at k·interval. Any drift here changes
+// legacy -rate output.
+func TestUniformPacerMatchesLegacyTicker(t *testing.T) {
+	for _, rate := range []float64{1, 3, 1000, 2000, 333.33, 1e12} {
+		legacyInterval := time.Duration(float64(time.Second) / rate)
+		if legacyInterval <= 0 {
+			legacyInterval = time.Nanosecond
+		}
+		p := newUniformPacer(rate)
+		if p.interval != legacyInterval {
+			t.Fatalf("rate %g: interval %v, legacy ticker used %v", rate, p.interval, legacyInterval)
+		}
+		for k := int64(1); k <= 5; k++ {
+			off, ok := p.next()
+			if !ok || off != time.Duration(k)*legacyInterval {
+				t.Fatalf("rate %g arrival %d: offset %v ok=%v, want %v", rate, k, off, ok, time.Duration(k)*legacyInterval)
+			}
+		}
+	}
+}
+
+// TestOpenLoopDrawOrderUnchanged pins the legacy corpus draw stream:
+// seed 77, one Intn(nBodies) per arrival, in arrival order. The indices
+// handed to issue must be byte-identical to the pre-refactor loop's.
+func TestOpenLoopDrawOrderUnchanged(t *testing.T) {
+	const nBodies = 512
+	want := rand.New(rand.NewSource(77))
+	var got []int
+	// A schedule of 40 zero offsets fires 40 immediate arrivals.
+	n := openLoop(&schedulePacer{offsets: make([]time.Duration, 40)}, time.Second, nBodies, func(idx int) {
+		got = append(got, idx)
+	})
+	if n != 40 || len(got) != 40 {
+		t.Fatalf("openLoop fired %d arrivals (%d recorded), want 40", n, len(got))
+	}
+	for i, idx := range got {
+		if w := want.Intn(nBodies); idx != w {
+			t.Fatalf("arrival %d drew corpus index %d, legacy stream yields %d", i, idx, w)
+		}
+	}
+}
+
+// TestOverloadMessageUnchanged pins the drop diagnostic string format
+// verbatim — dashboards and log greps match on it.
+func TestOverloadMessageUnchanged(t *testing.T) {
+	if overloadFmt != "open-loop overload: %d requests in flight" {
+		t.Fatalf("overloadFmt changed: %q", overloadFmt)
+	}
+	if openSeed != 77 {
+		t.Fatalf("openSeed changed: %d", openSeed)
+	}
+}
+
+// TestPaceLoopOrderAndDeadline pins paceLoop semantics: arrivals fire
+// synchronously in schedule order, the loop stops at schedule
+// exhaustion, and an offset past the deadline ends the run without
+// firing.
+func TestPaceLoopOrderAndDeadline(t *testing.T) {
+	offsets := []time.Duration{0, time.Microsecond, 2 * time.Microsecond, time.Hour}
+	var seqs []int
+	paceLoop(&schedulePacer{offsets: offsets}, time.Second, func(seq int) {
+		seqs = append(seqs, seq)
+	})
+	if len(seqs) != 3 {
+		t.Fatalf("fired %d arrivals, want 3 (the time.Hour offset is past deadline)", len(seqs))
+	}
+	for i, s := range seqs {
+		if s != i {
+			t.Fatalf("arrival order %v not sequential", seqs)
+		}
+	}
+	// Exhaustion without a deadline hit.
+	fired := 0
+	paceLoop(&schedulePacer{offsets: make([]time.Duration, 7)}, time.Second, func(int) { fired++ })
+	if fired != 7 {
+		t.Fatalf("fired %d, want 7 on schedule exhaustion", fired)
+	}
+}
+
+// TestBenchSafe pins scenario-name sanitization for benchmark names.
+func TestBenchSafe(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"mixed", "mixed"},
+		{"flash-crowd_2", "flash-crowd_2"},
+		{"a=constant(rate=1)", "aconstantrate1"},
+		{"===", "custom"},
+		{"", "custom"},
+		{"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa", "aaaaaaaaaaaaaaaaaaaaaaaa"},
+	} {
+		if got := benchSafe(tc.in); got != tc.want {
+			t.Errorf("benchSafe(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -306,11 +306,11 @@ func TestFacadeExperimentEnv(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ext) != 7 {
-		t.Fatalf("got %d extension experiments, want 7", len(ext))
+	if len(ext) != 8 {
+		t.Fatalf("got %d extension experiments, want 8", len(ext))
 	}
-	if ext[len(ext)-1].ID != "caldrift" {
-		t.Fatalf("last extension %q, want caldrift", ext[len(ext)-1].ID)
+	if ext[len(ext)-1].ID != "scenarioreplay" {
+		t.Fatalf("last extension %q, want scenarioreplay", ext[len(ext)-1].ID)
 	}
 }
 

@@ -869,7 +869,11 @@ func (c *Cluster) attempt(ctx context.Context, m *member, body []byte, meta reqM
 		m.breaker.Record(false)
 		return tryResult{err: err}
 	}
-	req.Header.Set("Content-Type", "application/json")
+	ct := meta.contentType
+	if ct == "" {
+		ct = "application/json"
+	}
+	req.Header.Set("Content-Type", ct)
 	if wtc.Valid() {
 		req.Header.Set(serve.TraceHeader, wtc.String())
 	}
@@ -1173,7 +1177,11 @@ func (c *Cluster) handlePredict(w http.ResponseWriter, r *http.Request) {
 
 	lt, ptc := c.requestTrace(r)
 	defer lt.end()
+	binaryReq := r.Header.Get("Content-Type") == serve.ContentTypeBinary
 	meta := reqMeta{rid: r.Header.Get(serve.RequestIDHeader), tc: ptc}
+	if binaryReq {
+		meta.contentType = serve.ContentTypeBinary
+	}
 	// errorID is the correlation id for failure responses: the client's
 	// own X-Request-Id when present, otherwise minted on first use.
 	errorID := func() string {
@@ -1194,7 +1202,12 @@ func (c *Cluster) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeErrorID(w, http.StatusBadRequest, "read body: "+err.Error(), errorID())
 		return
 	}
-	req, err := serve.DecodeRequest(bytes.NewReader(body))
+	var req *serve.Request
+	if binaryReq {
+		req, err = serve.DecodeBinaryRequest(body)
+	} else {
+		req, err = serve.DecodeRequest(bytes.NewReader(body))
+	}
 	var key string
 	if err == nil {
 		key, err = req.BatchKey()
@@ -1264,7 +1277,13 @@ func (c *Cluster) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if meta.rid != "" {
 		w.Header().Set(serve.RequestIDHeader, meta.rid)
 	}
-	w.Header().Set("Content-Type", "application/json")
+	// Binary responses only arrive with 200; upstream errors are the JSON
+	// envelope regardless of the request wire.
+	if binaryReq && res.status == http.StatusOK {
+		w.Header().Set("Content-Type", serve.ContentTypeBinary)
+	} else {
+		w.Header().Set("Content-Type", "application/json")
+	}
 	w.WriteHeader(res.status)
 	_, _ = w.Write(res.body)
 	encodeDone := time.Now()

@@ -49,6 +49,9 @@ var mTraceSampled = obs.NewCounter(obs.MetricTraceSampled,
 type reqMeta struct {
 	rid string
 	tc  obs.TraceContext
+	// contentType is the client's request wire format, forwarded verbatim
+	// so binary-wire requests stay binary end to end; empty means JSON.
+	contentType string
 }
 
 // lbTrace is one sampled request's tracing handle on the balancer; a

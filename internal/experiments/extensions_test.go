@@ -71,7 +71,7 @@ func TestExtensionsAggregator(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"synthetic", "iochar", "phased", "multimachine", "offload", "faulttolerance", "caldrift"}
+	want := []string{"synthetic", "iochar", "phased", "multimachine", "offload", "faulttolerance", "caldrift", "scenarioreplay"}
 	if len(results) != len(want) {
 		t.Fatalf("got %d results, want %d", len(results), len(want))
 	}

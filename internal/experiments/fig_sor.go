@@ -235,5 +235,6 @@ func Extensions(env *Env) ([]Result, error) {
 		{"offload", func() (Result, error) { return OffloadDecision(env) }},
 		{"faulttolerance", func() (Result, error) { return FaultTolerance(env) }},
 		{"caldrift", func() (Result, error) { return CalibrationDrift(env) }},
+		{"scenarioreplay", func() (Result, error) { return ScenarioReplay(env) }},
 	})
 }

@@ -87,6 +87,30 @@ type ServingReport struct {
 	MaxQueueDepth   int64   `json:"max_queue_depth,omitempty"`
 }
 
+// ScenarioCell is one cell of the scenario sweep matrix: a (scenario,
+// wire format, serving mode) combination with its smoke-run
+// measurements and replay-verification outcome.
+type ScenarioCell struct {
+	Scenario         string  `json:"scenario"`
+	Wire             string  `json:"wire"`
+	Mode             string  `json:"mode"`
+	Requests         int     `json:"requests"`
+	ReqPerSec        float64 `json:"req_per_sec"`
+	P50Ms            float64 `json:"p50_ms"`
+	P99Ms            float64 `json:"p99_ms"`
+	BatchedPct       float64 `json:"batched_pct"`
+	FastPct          float64 `json:"fast_pct"`
+	ReplayMismatches int     `json:"replay_mismatches"`
+}
+
+// ScenarioReport summarizes a scenario sweep: every executed cell plus
+// the matrix-wide replay totals.
+type ScenarioReport struct {
+	Cells      []ScenarioCell `json:"cells"`
+	Replayed   int            `json:"replayed_requests"`
+	Mismatches int            `json:"mismatches"`
+}
+
 // Manifest is the schema-versioned record a command writes at the end
 // of a run: what was configured, what calibration was trusted, what the
 // machine actually did. Maps marshal with sorted keys and the embedded
@@ -110,6 +134,9 @@ type Manifest struct {
 	Faults      map[string]int64   `json:"faults,omitempty"`
 	Reliability *ReliabilityReport `json:"reliability,omitempty"`
 	Serving     *ServingReport     `json:"serving,omitempty"`
+	// Scenario is the sweep report when the run executed the scenario
+	// matrix; stamped by the command, never derived from the snapshot.
+	Scenario *ScenarioReport `json:"scenario,omitempty"`
 	// SLO is the objective tracker's state at exit (burn rates over both
 	// windows, breach verdict); absent when no SLO was configured.
 	SLO *SLOStatus `json:"slo,omitempty"`

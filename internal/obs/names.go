@@ -103,6 +103,15 @@ const (
 	MetricFleetMembersSeen   = "fleet_members_scraped"
 	MetricFleetScrapeSeconds = "fleet_scrape_seconds"
 
+	// internal/scenario — arrival-process generation and trace
+	// record/replay.
+	MetricScenarioArrivals     = "scenario_arrivals_total" // label: cohort
+	MetricScenarioTraceWrites  = "scenario_trace_records_written_total"
+	MetricScenarioTraceReads   = "scenario_trace_records_read_total"
+	MetricScenarioReplayDiffs  = "scenario_replay_mismatches_total"
+	MetricScenarioSweepCells   = "scenario_sweep_cells_total"
+	MetricScenarioSweepRequest = "scenario_sweep_requests_total"
+
 	// internal/cluster — multi-host membership and failure detection.
 	MetricClusterSuspects     = "cluster_suspects_total"           // remote members suspected by the failure detector
 	MetricClusterRejoins      = "cluster_rejoins_total"            // suspect members readmitted after a heartbeat

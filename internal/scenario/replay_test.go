@@ -1,0 +1,314 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"contention/internal/cluster"
+	"contention/internal/core"
+	"contention/internal/runner"
+	"contention/internal/serve"
+)
+
+// replayScenario is the differential workload: three cohorts with
+// different mixes so the batcher sees skewed, repeating keys.
+func replayScenario(t testing.TB, rate float64) *Scenario {
+	t.Helper()
+	sc := Mix("replay",
+		Cohort{Name: "batch", Arrivals: Constant{Rate: rate * 0.4},
+			Workload: Workload{Comm: 0.2, J: 0.3, Mixes: 4}},
+		Cohort{Name: "interactive", Arrivals: Sinusoid{Mean: rate * 0.4,
+			Terms: []Term{{Amp: 0.5, Period: 700 * time.Millisecond}}},
+			Workload: Workload{Comm: 0.8, Mixes: 12}},
+		Cohort{Name: "crowd", Arrivals: MarkovBurst{Base: rate * 0.05, Burst: rate,
+			MeanOn: 150 * time.Millisecond, MeanOff: 450 * time.Millisecond},
+			Workload: Workload{Homogeneous: 1, Mixes: 2, MaxP: 3}},
+	)
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// postBody sends one wire body and decodes the outcome; 4xx/5xx record
+// only the status.
+func postBody(t testing.TB, client *http.Client, url, contentType string, body []byte, binary bool) (int, serve.Response) {
+	t.Helper()
+	resp, err := client.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading response: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, serve.Response{}
+	}
+	if binary {
+		out, err := serve.DecodeBinaryResponse(raw)
+		if err != nil {
+			t.Fatalf("binary response: %v", err)
+		}
+		return resp.StatusCode, out
+	}
+	var out serve.Response
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("json response %q: %v", raw, err)
+	}
+	return resp.StatusCode, out
+}
+
+// serveConcurrent answers bodies[i] into outs[i] with a bounded worker
+// pool, preserving index order in the results.
+func serveConcurrent(t testing.TB, client *http.Client, url, contentType string, bodies [][]byte, binary bool, conc int) ([]int, []serve.Response) {
+	t.Helper()
+	statuses := make([]int, len(bodies))
+	outs := make([]serve.Response, len(bodies))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				statuses[i], outs[i] = postBody(t, client, url, contentType, bodies[i], binary)
+			}
+		}()
+	}
+	for i := range bodies {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return statuses, outs
+}
+
+// TestReplayDifferential10k is the tentpole acceptance gate: record a
+// 10k-request seeded run against an in-process server, replay the
+// trace against a fresh server, and require every response value
+// bit-for-bit identical and every status code exactly equal. Five
+// malformed bodies are spliced in so the 400 path is part of the
+// differential.
+func TestReplayDifferential10k(t *testing.T) {
+	const want = 10_000
+	n := want
+	if testing.Short() {
+		n = 2_000
+	}
+	// ~3.5k req/s over 3 s lands comfortably past 10k; truncate exactly.
+	sc := replayScenario(t, 3500)
+	items, err := sc.Schedule(20260807, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) < n {
+		t.Fatalf("schedule produced %d items, need %d", len(items), n)
+	}
+	items = items[:n]
+
+	bodies := make([][]byte, 0, n+5)
+	cohorts := make([]string, 0, n+5)
+	offsets := make([]time.Duration, 0, n+5)
+	for i, it := range items {
+		// Splice malformed bodies at fixed points: the recorded 400s must
+		// replay as 400s.
+		if i%2000 == 1000 {
+			bodies = append(bodies, []byte{0xde, 0xad, 0xbe, 0xef})
+			cohorts = append(cohorts, "bad")
+			offsets = append(offsets, it.Offset)
+		}
+		b, err := EncodeItem(it, FormatBinary)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies = append(bodies, b)
+		cohorts = append(cohorts, it.Cohort)
+		offsets = append(offsets, it.Offset)
+	}
+
+	newServer := func() *httptest.Server {
+		pred, err := core.NewPredictor(serve.SyntheticCalibration())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := serve.New(serve.Config{Pred: pred, Pool: runner.New(0), Window: 200 * time.Microsecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(func() { ts.Close(); s.Close() })
+		return ts
+	}
+
+	// Record.
+	rec := newServer()
+	statuses, outs := serveConcurrent(t, rec.Client(), rec.URL+"/v1/predict",
+		serve.ContentTypeBinary, bodies, true, 16)
+
+	var trace bytes.Buffer
+	tw, err := NewTraceWriter(&trace, TraceHeader{
+		Seed: 20260807, Scenario: sc.Spec(), HorizonMS: 3000, Format: FormatBinary, Served: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bodies {
+		if err := tw.Write(&Record{
+			Offset: offsets[i], Cohort: cohorts[i], Req: bodies[i],
+			HasResp: true, Status: statuses[i], Resp: outs[i],
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay against a fresh server and hold the differential.
+	hdr, recs, err := ReadTrace(bytes.NewReader(trace.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hdr.Served || hdr.Format != FormatBinary {
+		t.Fatalf("header %+v lost served/format", hdr)
+	}
+	rep := newServer()
+	replayBodies := make([][]byte, len(recs))
+	for i := range recs {
+		replayBodies[i] = recs[i].Req
+	}
+	gotStatus, gotOut := serveConcurrent(t, rep.Client(), rep.URL+"/v1/predict",
+		serve.ContentTypeBinary, replayBodies, true, 16)
+
+	badSeen, mismatches := 0, 0
+	for i, r := range recs {
+		if gotStatus[i] != r.Status {
+			mismatches++
+			t.Errorf("record %d (%s): replay status %d, recorded %d", i, r.Cohort, gotStatus[i], r.Status)
+			continue
+		}
+		if r.Status != http.StatusOK {
+			badSeen++
+			continue
+		}
+		if math.Float64bits(gotOut[i].Value) != math.Float64bits(r.Resp.Value) ||
+			gotOut[i].Degraded != r.Resp.Degraded || gotOut[i].Fast != r.Resp.Fast {
+			mismatches++
+			t.Errorf("record %d (%s): replay value %x degraded=%v, recorded %x degraded=%v",
+				i, r.Cohort, math.Float64bits(gotOut[i].Value), gotOut[i].Degraded,
+				math.Float64bits(r.Resp.Value), r.Resp.Degraded)
+		}
+		if mismatches > 10 {
+			t.Fatalf("giving up after %d mismatches", mismatches)
+		}
+	}
+	if badSeen == 0 {
+		t.Fatal("no malformed records exercised the 400 path")
+	}
+	if len(recs) != len(bodies) {
+		t.Fatalf("trace carried %d records, wrote %d", len(recs), len(bodies))
+	}
+	t.Logf("replayed %d records (%d bad-request) bit-identically", len(recs), badSeen)
+}
+
+// TestReplayThroughCluster is the race-checked variant: the same
+// record→replay differential, but the traffic crosses the cluster
+// router (2 in-process replicas, consistent-hash affinity, JSON wire).
+func TestReplayThroughCluster(t *testing.T) {
+	n := 1500
+	if testing.Short() {
+		n = 400
+	}
+	sc := replayScenario(t, 2000)
+	items, err := sc.Schedule(7, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) < n {
+		t.Fatalf("schedule produced %d items, need %d", len(items), n)
+	}
+	items = items[:n]
+	bodies := make([][]byte, n)
+	for i, it := range items {
+		if bodies[i], err = EncodeItem(it, FormatJSON); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	newCluster := func() *httptest.Server {
+		c, err := cluster.New(cluster.Config{
+			Replicas: 2,
+			Factory:  cluster.InProcessFactory(cluster.InProcConfig{Window: 200 * time.Microsecond}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Start(); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(c.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = c.Shutdown(ctx)
+		})
+		return ts
+	}
+
+	rec := newCluster()
+	statuses, outs := serveConcurrent(t, rec.Client(), rec.URL+"/v1/predict",
+		"application/json", bodies, false, 8)
+
+	var trace bytes.Buffer
+	tw, err := NewTraceWriter(&trace, TraceHeader{Seed: 7, Scenario: sc.Spec(), Format: FormatJSON, Served: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bodies {
+		if err := tw.Write(&Record{
+			Offset: items[i].Offset, Cohort: items[i].Cohort, Req: bodies[i],
+			HasResp: true, Status: statuses[i], Resp: outs[i],
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, recs, err := ReadTrace(bytes.NewReader(trace.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := newCluster()
+	replayBodies := make([][]byte, len(recs))
+	for i := range recs {
+		replayBodies[i] = recs[i].Req
+	}
+	gotStatus, gotOut := serveConcurrent(t, rep.Client(), rep.URL+"/v1/predict",
+		"application/json", replayBodies, false, 8)
+
+	for i, r := range recs {
+		if gotStatus[i] != r.Status {
+			t.Fatalf("record %d (%s): replay status %d, recorded %d", i, r.Cohort, gotStatus[i], r.Status)
+		}
+		if r.Status != http.StatusOK {
+			continue
+		}
+		if math.Float64bits(gotOut[i].Value) != math.Float64bits(r.Resp.Value) {
+			t.Fatalf("record %d (%s): replay value %x, recorded %x",
+				i, r.Cohort, math.Float64bits(gotOut[i].Value), math.Float64bits(r.Resp.Value))
+		}
+	}
+}

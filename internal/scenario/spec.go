@@ -1,0 +1,236 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse builds a scenario from its spec string. Grammar:
+//
+//	scenario := cohort { "+" cohort }
+//	cohort   := [ name "=" ] gen "(" key "=" val { "," key "=" val } ")"
+//	gen      := "constant" | "sinusoid" | "burst" | "flash"
+//
+// Generator keys:
+//
+//	constant: rate
+//	sinusoid: mean, amp, period, phase (amp2/period2/phase2, … for
+//	          additional harmonics)
+//	burst:    base, burst, on, off
+//	flash:    base, peak, start, ramp, hold, decay
+//
+// Workload keys, valid on any cohort: mixes, maxp, homog, comm, j.
+// Durations use time.ParseDuration syntax ("250ms"); everything else is
+// a float. A cohort without an explicit name is named after its
+// generator (suffixed with its position when that collides). Parse also
+// accepts a built-in scenario name (see Builtin).
+func Parse(spec string) (*Scenario, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("scenario: empty spec")
+	}
+	if sc, err := Builtin(spec); err == nil {
+		return sc, nil
+	}
+	parts := strings.Split(spec, "+")
+	sc := &Scenario{Name: spec}
+	for i, part := range parts {
+		c, err := parseCohort(strings.TrimSpace(part), i)
+		if err != nil {
+			return nil, err
+		}
+		for _, prev := range sc.Cohorts {
+			if prev.Name == c.Name {
+				c.Name = fmt.Sprintf("%s%d", c.Name, i+1)
+			}
+		}
+		sc.Cohorts = append(sc.Cohorts, c)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+func parseCohort(part string, idx int) (Cohort, error) {
+	var c Cohort
+	open := strings.IndexByte(part, '(')
+	if open < 0 || !strings.HasSuffix(part, ")") {
+		return c, fmt.Errorf("scenario: cohort %q is not name=gen(key=val,...)", part)
+	}
+	head, body := part[:open], part[open+1:len(part)-1]
+	gen := head
+	if eq := strings.IndexByte(head, '='); eq >= 0 {
+		c.Name, gen = strings.TrimSpace(head[:eq]), strings.TrimSpace(head[eq+1:])
+	}
+	if c.Name == "" {
+		c.Name = gen
+	}
+	kv := map[string]string{}
+	if strings.TrimSpace(body) != "" {
+		for _, pair := range strings.Split(body, ",") {
+			eq := strings.IndexByte(pair, '=')
+			if eq < 0 {
+				return c, fmt.Errorf("scenario: cohort %q: %q is not key=val", part, pair)
+			}
+			k := strings.TrimSpace(pair[:eq])
+			if _, dup := kv[k]; dup {
+				return c, fmt.Errorf("scenario: cohort %q: duplicate key %q", part, k)
+			}
+			kv[k] = strings.TrimSpace(pair[eq+1:])
+		}
+	}
+	p := &kvParser{kv: kv, ctx: part}
+	switch gen {
+	case "constant":
+		c.Arrivals = Constant{Rate: p.f("rate")}
+	case "sinusoid":
+		s := Sinusoid{Mean: p.f("mean")}
+		s.Terms = append(s.Terms, Term{Amp: p.f("amp"), Period: p.d("period"), Phase: p.fDefault("phase", 0)})
+		for n := 2; ; n++ {
+			ampKey := fmt.Sprintf("amp%d", n)
+			if _, ok := kv[ampKey]; !ok {
+				break
+			}
+			s.Terms = append(s.Terms, Term{
+				Amp:    p.f(ampKey),
+				Period: p.d(fmt.Sprintf("period%d", n)),
+				Phase:  p.fDefault(fmt.Sprintf("phase%d", n), 0),
+			})
+		}
+		c.Arrivals = s
+	case "burst":
+		c.Arrivals = MarkovBurst{Base: p.f("base"), Burst: p.f("burst"), MeanOn: p.d("on"), MeanOff: p.d("off")}
+	case "flash":
+		c.Arrivals = FlashCrowd{Base: p.f("base"), Peak: p.f("peak"),
+			Start: p.d("start"), Ramp: p.d("ramp"), Hold: p.d("hold"), Decay: p.d("decay")}
+	default:
+		return c, fmt.Errorf("scenario: unknown generator %q (want constant, sinusoid, burst, or flash)", gen)
+	}
+	c.Workload = Workload{
+		Mixes:       int(p.fDefault("mixes", 0)),
+		MaxP:        int(p.fDefault("maxp", 0)),
+		Homogeneous: p.fDefault("homog", 0),
+		Comm:        p.fDefault("comm", 0),
+		J:           p.fDefault("j", 0),
+	}
+	if p.err != nil {
+		return c, p.err
+	}
+	if len(p.kv) > 0 {
+		keys := make([]string, 0, len(p.kv))
+		for k := range p.kv {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return c, fmt.Errorf("scenario: cohort %q: unknown keys %v", part, keys)
+	}
+	return c, nil
+}
+
+// kvParser consumes keys out of kv, accumulating the first error.
+type kvParser struct {
+	kv  map[string]string
+	ctx string
+	err error
+}
+
+func (p *kvParser) take(key string) (string, bool) {
+	v, ok := p.kv[key]
+	if ok {
+		delete(p.kv, key)
+	}
+	return v, ok
+}
+
+func (p *kvParser) f(key string) float64 {
+	v, ok := p.take(key)
+	if !ok {
+		p.fail(fmt.Errorf("scenario: cohort %q: missing key %q", p.ctx, key))
+		return 0
+	}
+	x, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		p.fail(fmt.Errorf("scenario: cohort %q: %s=%q is not a number", p.ctx, key, v))
+	}
+	return x
+}
+
+func (p *kvParser) fDefault(key string, def float64) float64 {
+	if _, ok := p.kv[key]; !ok {
+		return def
+	}
+	return p.f(key)
+}
+
+func (p *kvParser) d(key string) time.Duration {
+	v, ok := p.take(key)
+	if !ok {
+		p.fail(fmt.Errorf("scenario: cohort %q: missing key %q", p.ctx, key))
+		return 0
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		p.fail(fmt.Errorf("scenario: cohort %q: %s=%q is not a duration", p.ctx, key, v))
+	}
+	return d
+}
+
+func (p *kvParser) fail(err error) {
+	if p.err == nil {
+		p.err = err
+	}
+}
+
+// BuiltinNames lists the named scenarios Builtin accepts, in sweep
+// order.
+func BuiltinNames() []string {
+	return []string{"steady", "diurnal", "bursty", "flashcrowd", "mixed"}
+}
+
+// Builtin returns a named built-in scenario — the shapes the sweep
+// matrix and the loadgen smoke runs exercise. Rates are sized for
+// bounded single-host smokes, not saturation tests.
+func Builtin(name string) (*Scenario, error) {
+	switch name {
+	case "steady":
+		return Single("steady", Constant{Rate: 400}, Workload{}), nil
+	case "diurnal":
+		return Single("diurnal", Sinusoid{Mean: 400, Terms: []Term{
+			{Amp: 0.5, Period: 2 * time.Second},
+			{Amp: 0.25, Period: 500 * time.Millisecond},
+		}}, Workload{}), nil
+	case "bursty":
+		return Single("bursty", MarkovBurst{
+			Base: 100, Burst: 1500,
+			MeanOn: 200 * time.Millisecond, MeanOff: 600 * time.Millisecond,
+		}, Workload{}), nil
+	case "flashcrowd":
+		return Single("flashcrowd", FlashCrowd{
+			Base: 150, Peak: 3000,
+			Start: time.Second, Ramp: 400 * time.Millisecond,
+			Hold: 600 * time.Millisecond, Decay: 400 * time.Millisecond,
+		}, Workload{}), nil
+	case "mixed":
+		// Three cohorts with deliberately different contender mixes and
+		// kind weights: a comp-heavy batch population, a comm-heavy
+		// interactive one riding a diurnal wave, and a homogeneous flash
+		// crowd that stresses one batch key.
+		return Mix("mixed",
+			Cohort{Name: "batch", Arrivals: Constant{Rate: 150},
+				Workload: Workload{Comm: 0.2, J: 0.3, Mixes: 4}},
+			Cohort{Name: "interactive", Arrivals: Sinusoid{Mean: 250,
+				Terms: []Term{{Amp: 0.6, Period: time.Second}}},
+				Workload: Workload{Comm: 0.8, Mixes: 12}},
+			Cohort{Name: "crowd", Arrivals: FlashCrowd{Base: 50, Peak: 1200,
+				Start: 1200 * time.Millisecond, Ramp: 300 * time.Millisecond,
+				Hold: 400 * time.Millisecond, Decay: 300 * time.Millisecond},
+				Workload: Workload{Homogeneous: 1, Mixes: 2, MaxP: 3}},
+		), nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown built-in %q (have %s)", name, strings.Join(BuiltinNames(), ", "))
+	}
+}

@@ -1,0 +1,222 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"contention/internal/serve"
+)
+
+func testRecords() []Record {
+	return []Record{
+		{Offset: 0, Cohort: "a", Req: []byte(`{"kind":"comp","dcomp":1}`)},
+		{Offset: 1500 * time.Microsecond, Cohort: "interactive", Req: []byte{1, 2, 3, 4}},
+		{Offset: 2 * time.Millisecond, Cohort: "b", Req: []byte(`{}`),
+			HasResp: true, Status: 200, Resp: serve.Response{Value: 3.14159, Batch: 7, Fast: true}},
+		{Offset: 3 * time.Millisecond, Cohort: "b", Req: []byte(`bad`),
+			HasResp: true, Status: 400, Resp: serve.Response{Reason: "malformed request"}},
+		{Offset: 5 * time.Millisecond, Cohort: "c", Req: nil,
+			HasResp: true, Status: 200,
+			Resp: serve.Response{Value: math.Copysign(0, -1), Batch: 1, Degraded: true, Reason: "stale calibration: test"}},
+	}
+}
+
+func writeTestTrace(t *testing.T, hdr TraceHeader, recs []Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := tw.Write(&recs[i]); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceRoundTrip pins write→read fidelity for every record shape:
+// bare schedules, served 200s with fast/batch flags, error statuses
+// with reasons, negative-zero values.
+func TestTraceRoundTrip(t *testing.T) {
+	hdr := TraceHeader{Seed: 42, Scenario: "steady=constant(rate=400)", HorizonMS: 2000, Format: FormatJSON, Served: true}
+	recs := testRecords()
+	raw := writeTestTrace(t, hdr, recs)
+
+	gotHdr, got, err := ReadTrace(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHdr := hdr
+	wantHdr.Schema = TraceSchema
+	if gotHdr != wantHdr {
+		t.Fatalf("header %+v, want %+v", gotHdr, wantHdr)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		want := recs[i]
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("record %d:\n got %+v\nwant %+v", i, got[i], want)
+		}
+	}
+}
+
+// TestTraceByteDeterminism is half the acceptance criterion: the same
+// (scenario, seed, horizon, format) always serializes to an identical
+// byte stream, across 20 seeds and both wire formats; a different seed
+// changes the stream.
+func TestTraceByteDeterminism(t *testing.T) {
+	sc, err := Builtin("mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range []string{FormatJSON, FormatBinary} {
+		var prev []byte
+		for seed := int64(1); seed <= 20; seed++ {
+			var a, b bytes.Buffer
+			n1, err := WriteSchedule(&a, sc, seed, 300*time.Millisecond, format)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n2, err := WriteSchedule(&b, sc, seed, 300*time.Millisecond, format)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n1 != n2 || !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Fatalf("%s seed %d: trace not byte-deterministic (%d vs %d records)", format, seed, n1, n2)
+			}
+			if n1 == 0 {
+				t.Fatalf("%s seed %d: empty schedule", format, seed)
+			}
+			if prev != nil && bytes.Equal(a.Bytes(), prev) {
+				t.Fatalf("%s: seeds %d and %d produced identical traces", format, seed-1, seed)
+			}
+			prev = a.Bytes()
+		}
+	}
+}
+
+// TestTraceScheduleRoundTrip replays a generated trace's bytes back
+// into requests and checks them against the schedule that produced it.
+func TestTraceScheduleRoundTrip(t *testing.T) {
+	sc, err := Builtin("mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed, horizon = int64(11), 300 * time.Millisecond
+	items, err := sc.Schedule(seed, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range []string{FormatJSON, FormatBinary} {
+		var buf bytes.Buffer
+		if _, err := WriteSchedule(&buf, sc, seed, horizon, format); err != nil {
+			t.Fatal(err)
+		}
+		hdr, recs, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hdr.Scenario != sc.Spec() || hdr.Seed != seed {
+			t.Fatalf("%s: header %+v does not carry spec/seed", format, hdr)
+		}
+		if len(recs) != len(items) {
+			t.Fatalf("%s: %d records, want %d items", format, len(recs), len(items))
+		}
+		for i, rec := range recs {
+			if rec.Offset != items[i].Offset || rec.Cohort != items[i].Cohort {
+				t.Fatalf("%s record %d: (%v,%s) want (%v,%s)",
+					format, i, rec.Offset, rec.Cohort, items[i].Offset, items[i].Cohort)
+			}
+			req, err := DecodeRequestBytes(rec.Req, format)
+			if err != nil {
+				t.Fatalf("%s record %d: decode: %v", format, i, err)
+			}
+			if req.Kind != items[i].Req.Kind {
+				t.Fatalf("%s record %d: kind %q want %q", format, i, req.Kind, items[i].Req.Kind)
+			}
+		}
+	}
+}
+
+// TestTraceTypedErrors pins the corruption taxonomy: magic, schema,
+// checksum, and truncation faults each surface as their sentinel, and
+// none of them panic.
+func TestTraceTypedErrors(t *testing.T) {
+	hdr := TraceHeader{Seed: 1, Format: FormatBinary}
+	raw := writeTestTrace(t, hdr, testRecords())
+
+	check := func(name string, data []byte, want error) {
+		t.Helper()
+		_, _, err := ReadTrace(bytes.NewReader(data))
+		if !errors.Is(err, want) {
+			t.Errorf("%s: got %v, want %v", name, err, want)
+		}
+	}
+
+	// Bad magic.
+	bad := append([]byte(nil), raw...)
+	bad[0] ^= 0xff
+	check("magic", bad, ErrTraceMagic)
+
+	// Wrong schema: rewrite the header with a bogus schema string.
+	var buf bytes.Buffer
+	if _, err := NewTraceWriter(&buf, TraceHeader{Schema: "contention/trace/v9", Format: FormatBinary}); !errors.Is(err, ErrTraceSchema) {
+		t.Errorf("writer accepted unknown schema: %v", err)
+	}
+	wrong := writeTestTrace(t, hdr, nil)
+	// Flip bytes inside the header JSON region so its checksum breaks.
+	wrong[10] ^= 0xff
+	check("header-checksum", wrong, ErrTraceChecksum)
+
+	// Record checksum: flip one byte inside the first record body.
+	hdrLen := len(writeTestTrace(t, hdr, nil))
+	flipped := append([]byte(nil), raw...)
+	flipped[hdrLen+6] ^= 0x01
+	check("record-checksum", flipped, ErrTraceChecksum)
+
+	// Truncations at every boundary.
+	for _, cut := range []int{3, 7, hdrLen - 1, hdrLen + 2, len(raw) - 1} {
+		check("truncate", raw[:cut], ErrTraceCorrupt)
+	}
+
+	// Empty stream.
+	check("empty", nil, ErrTraceCorrupt)
+
+	// A clean trace still reads fully after all that.
+	if _, recs, err := ReadTrace(bytes.NewReader(raw)); err != nil || len(recs) != len(testRecords()) {
+		t.Fatalf("clean trace: %d records, err %v", len(recs), err)
+	}
+}
+
+// TestTraceWriterRejects pins writer-side validation.
+func TestTraceWriterRejects(t *testing.T) {
+	if _, err := NewTraceWriter(io.Discard, TraceHeader{Format: "protobuf"}); err == nil {
+		t.Error("writer accepted unknown format")
+	}
+	tw, err := NewTraceWriter(io.Discard, TraceHeader{Format: FormatJSON})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Write(&Record{Offset: -time.Second, Cohort: "x"}); err == nil {
+		t.Error("writer accepted negative offset")
+	}
+	long := make([]byte, maxCohortBytes+1)
+	if err := tw.Write(&Record{Cohort: string(long)}); err == nil {
+		t.Error("writer accepted oversized cohort name")
+	}
+	if err := tw.Write(&Record{Cohort: "x", Req: make([]byte, maxRecordBytes)}); err == nil {
+		t.Error("writer accepted oversized request")
+	}
+}
